@@ -1,0 +1,442 @@
+// Benchmarks regenerating (scaled-down versions of) every table and figure
+// of the paper, plus ablation benchmarks for the design choices called out
+// in DESIGN.md §5. Each benchmark exercises the same code path as the
+// corresponding cmd/paperfigs experiment; key result metrics are attached
+// with b.ReportMetric so shape regressions are visible in benchmark output.
+package emvia_test
+
+import (
+	"math"
+	"testing"
+
+	"emvia/internal/baseline"
+	"emvia/internal/core"
+	"emvia/internal/cudd"
+	"emvia/internal/emdist"
+	"emvia/internal/fem"
+	"emvia/internal/korhonen"
+	"emvia/internal/pdn"
+	"emvia/internal/phys"
+	"emvia/internal/stat"
+	"emvia/internal/viaarray"
+)
+
+// benchAnalyzer returns a coarse-mesh analyzer sized for benchmarking.
+func benchAnalyzer() *core.Analyzer {
+	a := core.NewAnalyzer()
+	a.Base.Margin = 1.0 * phys.Micron
+	a.Base.SubstrateThickness = 0.8 * phys.Micron
+	a.Base.StepOutside = 0.5 * phys.Micron
+	a.Base.StepZBulk = 1.0 * phys.Micron
+	return a
+}
+
+// benchGrid builds a small tuned grid once per benchmark.
+func benchGrid(b *testing.B, nx int) *pdn.Grid {
+	b.Helper()
+	spec := pdn.PG1Spec()
+	spec.NX, spec.NY = nx, nx
+	spec.PadPeriod = 3
+	g, err := pdn.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Tune(0.065, 0.01); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkTable1Materials measures the elasticity-matrix path behind
+// Table 1's property set (element stiffness integration for each material).
+func BenchmarkTable1Materials(b *testing.B) {
+	p := cudd.DefaultParams()
+	p.ArrayN = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cudd.Build(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1StressProfile regenerates Figure 1: FEA stress scans of a
+// 1×1 via vs a 4×4 array.
+func BenchmarkFig1StressProfile(b *testing.B) {
+	a := benchAnalyzer()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{1, 4} {
+			p := a.Base
+			p.ArrayN = n
+			p.Pattern = cudd.Plus
+			res, err := cudd.Characterize(p, a.FEA)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 4 {
+				gap = (res.MaxPeak() - res.MinPeak()) / phys.MPa
+			}
+		}
+	}
+	b.ReportMetric(gap, "MPa-spread")
+}
+
+// BenchmarkFig6Patterns regenerates Figure 6: the Plus/T/L stress scans.
+func BenchmarkFig6Patterns(b *testing.B) {
+	a := benchAnalyzer()
+	var plusPeak float64
+	for i := 0; i < b.N; i++ {
+		for _, pat := range cudd.Patterns() {
+			p := a.Base
+			p.ArrayN = 4
+			p.Pattern = pat
+			res, err := cudd.Characterize(p, a.FEA)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pat == cudd.Plus {
+				plusPeak = res.MaxPeak() / phys.MPa
+			}
+		}
+	}
+	b.ReportMetric(plusPeak, "MPa-plus-peak")
+}
+
+// BenchmarkFig7ArraySize regenerates Figure 7: 8×8 vs 4×4 stress.
+func BenchmarkFig7ArraySize(b *testing.B) {
+	a := benchAnalyzer()
+	var innerDelta float64
+	for i := 0; i < b.N; i++ {
+		var inner [2]float64
+		for k, n := range []int{4, 8} {
+			p := a.Base
+			p.ArrayN = n
+			p.Pattern = cudd.Plus
+			res, err := cudd.Characterize(p, a.FEA)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inner[k] = res.PeakSigmaT[n/2][n/2]
+		}
+		innerDelta = (inner[0] - inner[1]) / phys.MPa
+	}
+	b.ReportMetric(innerDelta, "MPa-inner-gain")
+}
+
+// arrayChar runs a via-array characterization at benchmark scale.
+func arrayChar(b *testing.B, a *core.Analyzer, pattern cudd.Pattern, n int, crit core.ArrayCriterion, trials int, seed int64) *core.ViaArrayCharacterization {
+	b.Helper()
+	c, err := a.CharacterizeViaArray(pattern, n, a.Base.WireWidth, 1e10, crit, trials, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkFig8aViaArrayCDF regenerates Figure 8(a): per-criterion CDFs of a
+// 4×4 Plus array.
+func BenchmarkFig8aViaArrayCDF(b *testing.B) {
+	a := benchAnalyzer()
+	var firstMed float64
+	for i := 0; i < b.N; i++ {
+		c := arrayChar(b, a, cudd.Plus, 4, core.ArrayOpenCircuit(), 100, 1)
+		e, err := stat.NewECDF(c.Result.CriterionSamples(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		firstMed = phys.SecondsToYears(e.Percentile(0.5))
+	}
+	b.ReportMetric(firstMed, "years-1st-via-median")
+}
+
+// BenchmarkFig8bPatternCDF regenerates Figure 8(b): pattern CDFs at n_F=8.
+func BenchmarkFig8bPatternCDF(b *testing.B) {
+	a := benchAnalyzer()
+	var lGain float64
+	for i := 0; i < b.N; i++ {
+		plus := arrayChar(b, a, cudd.Plus, 4, core.ArrayResistance2x(), 100, 2)
+		l := arrayChar(b, a, cudd.LShape, 4, core.ArrayResistance2x(), 100, 3)
+		lGain = phys.SecondsToYears(l.Model.Dist.Median() - plus.Model.Dist.Median())
+	}
+	b.ReportMetric(lGain, "years-L-vs-Plus")
+}
+
+// BenchmarkFig9Redundancy regenerates Figure 9: the five configuration
+// curves.
+func BenchmarkFig9Redundancy(b *testing.B) {
+	a := benchAnalyzer()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		c1 := arrayChar(b, a, cudd.Plus, 1, core.ArrayOpenCircuit(), 100, 4)
+		c8 := arrayChar(b, a, cudd.Plus, 8, core.ArrayResistance2x(), 100, 5)
+		e1, err := stat.NewECDF(c1.Result.Samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e8, err := stat.NewECDF(c8.Result.Samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = phys.SecondsToYears(e8.Percentile(0.003) - e1.Percentile(0.003))
+	}
+	b.ReportMetric(gain, "years-8x8-vs-1x1-worstcase")
+}
+
+// BenchmarkFig10GridCDF regenerates Figure 10 at reduced scale: PG1-style
+// grid, 4×4 arrays, the two extreme criterion combinations.
+func BenchmarkFig10GridCDF(b *testing.B) {
+	a := benchAnalyzer()
+	g := benchGrid(b, 8)
+	b.ResetTimer()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		wl, err := a.AnalyzeGrid(core.GridAnalysis{
+			Grid: g, ArrayN: 4, ArrayCriterion: core.ArrayWeakestLink(),
+			SystemCriterion: pdn.WeakestLink, CharTrials: 100, GridTrials: 50, Seed: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ir, err := a.AnalyzeGrid(core.GridAnalysis{
+			Grid: g, ArrayN: 4, ArrayCriterion: core.ArrayOpenCircuit(),
+			SystemCriterion: pdn.IRDrop, IRDropFrac: 0.10, CharTrials: 100, GridTrials: 50, Seed: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = ir.WorstCaseYears() / wl.WorstCaseYears()
+	}
+	b.ReportMetric(spread, "x-realistic-vs-weakestlink")
+}
+
+// BenchmarkTable2GridTTF regenerates one Table 2 cell per benchmark grid
+// size (PG1-like row, IR-drop system, open-circuit arrays).
+func BenchmarkTable2GridTTF(b *testing.B) {
+	a := benchAnalyzer()
+	g := benchGrid(b, 10)
+	b.ResetTimer()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rep, err := a.AnalyzeGrid(core.GridAnalysis{
+			Grid: g, ArrayN: 4, ArrayCriterion: core.ArrayOpenCircuit(),
+			SystemCriterion: pdn.IRDrop, IRDropFrac: 0.10, CharTrials: 100, GridTrials: 50, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = rep.WorstCaseYears()
+	}
+	b.ReportMetric(worst, "years-worstcase")
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+// BenchmarkAblationPreconditioner compares FEA solve time under the three
+// preconditioners on the same 4×4 structure.
+func BenchmarkAblationPreconditioner(b *testing.B) {
+	for _, pc := range []string{"none", "jacobi", "ic0"} {
+		b.Run(pc, func(b *testing.B) {
+			a := benchAnalyzer()
+			p := a.Base
+			p.ArrayN = 4
+			for i := 0; i < b.N; i++ {
+				if _, err := cudd.Characterize(p, fem.SolveOptions{Precond: pc}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ablationConfig builds a 4×4 array config with FEA-like graded stress.
+func ablationConfig(n, failK int) viaarray.Config {
+	sigma := make([][]float64, n)
+	for r := range sigma {
+		sigma[r] = make([]float64, n)
+		for c := range sigma[r] {
+			edge := r == 0 || c == 0 || r == n-1 || c == n-1
+			if edge {
+				sigma[r][c] = 230e6
+			} else {
+				sigma[r][c] = 215e6
+			}
+		}
+	}
+	return viaarray.Config{
+		N: n, SigmaT: sigma, EM: emdist.Default(),
+		CurrentDensity: 1e10, ViaArea: 1e-12,
+		RVia: 0.15 * float64(n*n), RSegBottom: 0.02, RSegTop: 0.02,
+		FailK: failK,
+	}
+}
+
+// BenchmarkAblationCrowding isolates the current-crowding model: corner feed
+// (network solve) vs uniform feed.
+func BenchmarkAblationCrowding(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		feed viaarray.FeedMode
+	}{{"network", viaarray.CornerFeed}, {"uniform", viaarray.UniformFeed}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := ablationConfig(4, 16)
+			cfg.Feed = mode.feed
+			var med float64
+			for i := 0; i < b.N; i++ {
+				res, err := viaarray.Characterize(cfg, 200, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				med = phys.SecondsToYears(res.Model.Dist.Median())
+			}
+			b.ReportMetric(med, "years-median")
+		})
+	}
+}
+
+// BenchmarkAblationLumpedStress isolates the per-via stress table: graded
+// FEA stress vs a single lumped value for all vias.
+func BenchmarkAblationLumpedStress(b *testing.B) {
+	for _, mode := range []string{"pervia", "lumped"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := ablationConfig(4, 16)
+			if mode == "lumped" {
+				// Lump at the array peak, the conservative prior-art choice.
+				for r := range cfg.SigmaT {
+					for c := range cfg.SigmaT[r] {
+						cfg.SigmaT[r][c] = 230e6
+					}
+				}
+			}
+			var med float64
+			for i := 0; i < b.N; i++ {
+				res, err := viaarray.Characterize(cfg, 200, 9)
+				if err != nil {
+					b.Fatal(err)
+				}
+				med = phys.SecondsToYears(res.Model.Dist.Median())
+			}
+			b.ReportMetric(med, "years-median")
+		})
+	}
+}
+
+// BenchmarkAblationAging isolates damage-accumulation aging after current
+// redistribution.
+func BenchmarkAblationAging(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"aging", false}, {"frozen", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := ablationConfig(4, 16)
+			cfg.DisableAging = mode.disable
+			var med float64
+			for i := 0; i < b.N; i++ {
+				res, err := viaarray.Characterize(cfg, 200, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				med = phys.SecondsToYears(res.Model.Dist.Median())
+			}
+			b.ReportMetric(med, "years-median")
+		})
+	}
+}
+
+// BenchmarkGridSolve measures the raw nodal-analysis solve across grid
+// sizes, the inner loop of the grid Monte Carlo.
+func BenchmarkGridSolve(b *testing.B) {
+	for _, nx := range []int{10, 20, 40} {
+		b.Run(sizeName(nx), func(b *testing.B) {
+			g := benchGrid(b, nx)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := g.MaxViaCurrent(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(nx int) string {
+	return "nx" + string(rune('0'+nx/10)) + string(rune('0'+nx%10))
+}
+
+// BenchmarkWilkinson measures the lognormal-closure helper used in the TTF
+// lognormality argument.
+func BenchmarkWilkinson(b *testing.B) {
+	terms := make([]stat.LogNormal, 16)
+	for i := range terms {
+		terms[i] = stat.LogNormal{Mu: float64(i) * 0.1, Sigma: 0.3}
+	}
+	var m float64
+	for i := 0; i < b.N; i++ {
+		ln, err := stat.WilkinsonSum(terms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m = ln.Mean()
+	}
+	if math.IsNaN(m) {
+		b.Fatal("NaN mean")
+	}
+}
+
+// BenchmarkAblationSpacingRule compares the paper's equal-area via geometry
+// against design-rule-constrained spacing (the paper's stated future work):
+// wider gaps change the inter-via stress relief.
+func BenchmarkAblationSpacingRule(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		spacing float64
+	}{{"equalarea", 0}, {"ruled", 0.3 * phys.Micron}} {
+		b.Run(mode.name, func(b *testing.B) {
+			a := benchAnalyzer()
+			p := a.Base
+			p.ArrayN = 4
+			p.Pattern = cudd.Plus
+			p.ViaSpacing = mode.spacing
+			var spread float64
+			for i := 0; i < b.N; i++ {
+				res, err := cudd.Characterize(p, a.FEA)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spread = (res.MaxPeak() - res.MinPeak()) / phys.MPa
+			}
+			b.ReportMetric(spread, "MPa-spread")
+		})
+	}
+}
+
+// BenchmarkBaselineBlack measures the traditional flow for comparison with
+// BenchmarkTable2GridTTF: the analytic weakest-link Black evaluation is
+// orders of magnitude cheaper — and stress-blind.
+func BenchmarkBaselineBlack(b *testing.B) {
+	g := benchGrid(b, 10)
+	black := baseline.DefaultBlack()
+	b.ResetTimer()
+	var med float64
+	for i := 0; i < b.N; i++ {
+		v, err := baseline.WeakestLinkGridTTF(g, black, 1e-12, phys.CelsiusToKelvin(105), 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		med = phys.SecondsToYears(v)
+	}
+	b.ReportMetric(med, "years-median")
+}
+
+// BenchmarkKorhonenPDE measures the transient stress-evolution solve that
+// validates equation (1).
+func BenchmarkKorhonenPDE(b *testing.B) {
+	l := korhonen.Line{Length: 200e-6, EM: emdist.Default(), J: 1e10}
+	tn := l.NucleationTimeClosedForm(100e6)
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Solve(2*tn, korhonen.SolveOptions{Nodes: 200, Steps: 400}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,609 @@
+// Command emgrid is the command-line front end of the library: it generates
+// benchmark-style power-grid decks, reports their IR drop, runs the FEA
+// stress characterization campaign, and performs the full stress-aware EM
+// lifetime analysis of a grid.
+//
+// Subcommands:
+//
+//	emgrid gen -name PG1 -nx 20 -ny 20 -padperiod 5 -ir 0.065 -viacurrent 0.01 -out grid.sp
+//	emgrid irdrop -deck grid.sp -vdd 1.8
+//	emgrid characterize -arrays 1,4,8 -widths 2u,2.5u,3u -out table.json
+//	emgrid analyze -deck grid.sp -array 4 -arraycrit rinf -syscrit ir -trials 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"emvia/internal/chartable"
+	"emvia/internal/core"
+	"emvia/internal/cudd"
+	"emvia/internal/pdn"
+	"emvia/internal/phys"
+	"emvia/internal/spice"
+	"emvia/internal/viaarray"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "irdrop":
+		err = cmdIRDrop(os.Args[2:])
+	case "characterize":
+		err = cmdCharacterize(os.Args[2:])
+	case "charmodels":
+		err = cmdCharModels(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "xsection":
+		err = cmdXSection(os.Args[2:])
+	case "hotspots":
+		err = cmdHotspots(os.Args[2:])
+	case "optimize":
+		err = cmdOptimize(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "emgrid: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emgrid: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: emgrid <gen|irdrop|characterize|analyze> [flags]
+  gen           generate and tune a synthetic power-grid SPICE deck
+  irdrop        solve a deck and report the IR-drop profile
+  characterize  run the FEA stress characterization campaign to JSON
+  charmodels    characterize via-array TTF models (all patterns) to JSON
+  analyze       run the stress-aware EM lifetime analysis of a deck
+  xsection      render a Cu DD via-array structure cross-section as SVG
+  hotspots      rank via arrays by EM criticality; optional IR heatmap SVG
+  optimize      pick the best via-array configuration for a wire + rules
+Run 'emgrid <subcommand> -h' for flags.`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("name", "PG1", "grid name: PG1, PG2, PG5, or custom")
+	nx := fs.Int("nx", 0, "stripes in x (0 = preset default)")
+	ny := fs.Int("ny", 0, "stripes in y (0 = preset default)")
+	padPeriod := fs.Int("padperiod", 0, "pad spacing in stripes (0 = preset default)")
+	ir := fs.Float64("ir", 0.065, "tuned nominal worst IR drop, fraction of Vdd")
+	viaCur := fs.Float64("viacurrent", 0.01, "tuned busiest via-array current, A")
+	out := fs.String("out", "", "output deck path (default stdout)")
+	seed := fs.Int64("seed", 1, "load-distribution seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec pdn.GridSpec
+	switch strings.ToUpper(*name) {
+	case "PG1":
+		spec = pdn.PG1Spec()
+	case "PG2":
+		spec = pdn.PG2Spec()
+	case "PG5":
+		spec = pdn.PG5Spec()
+	default:
+		spec = pdn.PG1Spec()
+		spec.Name = *name
+	}
+	if *nx > 0 {
+		spec.NX = *nx
+	}
+	if *ny > 0 {
+		spec.NY = *ny
+	}
+	if *padPeriod > 0 {
+		spec.PadPeriod = *padPeriod
+	}
+	spec.Seed = *seed
+	g, err := pdn.Generate(spec)
+	if err != nil {
+		return err
+	}
+	if err := g.Tune(*ir, *viaCur); err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.Netlist.Write(w); err != nil {
+		return err
+	}
+	imax, irGot, err := g.MaxViaCurrent()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: %d via arrays, nominal IR %.2f%%, busiest array %.2f mA\n",
+		spec.Name, len(g.Vias), irGot*100, imax*1e3)
+	return nil
+}
+
+func cmdIRDrop(args []string) error {
+	fs := flag.NewFlagSet("irdrop", flag.ExitOnError)
+	deck := fs.String("deck", "", "SPICE deck path (required)")
+	vdd := fs.Float64("vdd", 1.8, "supply voltage for IR percentages")
+	worst := fs.Int("worst", 10, "how many worst nodes to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *deck == "" {
+		return fmt.Errorf("irdrop: -deck is required")
+	}
+	f, err := os.Open(*deck)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	nl, err := spice.Parse(f)
+	if err != nil {
+		return err
+	}
+	c, err := spice.Compile(nl)
+	if err != nil {
+		return err
+	}
+	op, err := c.SolveDC(nil)
+	if err != nil {
+		return err
+	}
+	type nodeDrop struct {
+		name string
+		v    float64
+	}
+	drops := make([]nodeDrop, 0, c.NumNodes())
+	for i := 0; i < c.NumNodes(); i++ {
+		drops = append(drops, nodeDrop{c.NodeName(i), op.VoltageAt(i)})
+	}
+	sort.Slice(drops, func(i, j int) bool { return drops[i].v < drops[j].v })
+	fmt.Printf("%d nodes, %d resistors; worst IR drop %.3f%% of Vdd=%g\n",
+		c.NumNodes(), c.NumResistors(), op.WorstIRDropFrac(*vdd)*100, *vdd)
+	n := *worst
+	if n > len(drops) {
+		n = len(drops)
+	}
+	fmt.Printf("%-20s %12s %10s\n", "node", "voltage (V)", "drop (%)")
+	for _, d := range drops[:n] {
+		fmt.Printf("%-20s %12.6f %10.3f\n", d.name, d.v, (*vdd-d.v) / *vdd * 100)
+	}
+	return nil
+}
+
+func parseList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := spice.ParseValue(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func cmdCharacterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	arrays := fs.String("arrays", "1,4,8", "via-array configurations n (n×n), comma-separated")
+	widths := fs.String("widths", "2u,2.5u,3u", "wire widths with SPICE suffixes, comma-separated")
+	out := fs.String("out", "", "output JSON path (default stdout)")
+	fast := fs.Bool("fast", false, "coarse FEA meshes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseIntList(*arrays)
+	if err != nil {
+		return fmt.Errorf("characterize: -arrays: %w", err)
+	}
+	ws, err := parseList(*widths)
+	if err != nil {
+		return fmt.Errorf("characterize: -widths: %w", err)
+	}
+	a := core.NewAnalyzer()
+	if *fast {
+		a.Base.Margin = 1.0 * phys.Micron
+		a.Base.StepOutside = 0.5 * phys.Micron
+	}
+	table, err := a.BuildStressTable(ns, ws, func(k chartable.Key, w float64) {
+		fmt.Fprintf(os.Stderr, "FEA %v at width %.2g um\n", k, w/phys.Micron)
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return table.Save(w)
+}
+
+// parseArrayCriterion maps the CLI spelling to a criterion.
+func parseArrayCriterion(s string) (core.ArrayCriterion, error) {
+	switch s {
+	case "wl":
+		return core.ArrayWeakestLink(), nil
+	case "2x":
+		return core.ArrayResistance2x(), nil
+	case "rinf":
+		return core.ArrayOpenCircuit(), nil
+	}
+	return core.ArrayCriterion{}, fmt.Errorf("unknown array criterion %q (want wl, 2x or rinf)", s)
+}
+
+func cmdCharModels(args []string) error {
+	fs := flag.NewFlagSet("charmodels", flag.ExitOnError)
+	arrayN := fs.Int("array", 4, "via-array configuration n (n×n)")
+	arrayCrit := fs.String("arraycrit", "rinf", "via-array failure criterion: wl, 2x, rinf")
+	width := fs.String("width", "2u", "wire width (SPICE suffixes)")
+	trials := fs.Int("trials", 500, "Monte-Carlo trials")
+	seed := fs.Int64("seed", 2017, "random seed")
+	out := fs.String("out", "", "output JSON path (default stdout)")
+	fast := fs.Bool("fast", false, "coarse FEA meshes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ac, err := parseArrayCriterion(*arrayCrit)
+	if err != nil {
+		return fmt.Errorf("charmodels: %w", err)
+	}
+	w, err := spice.ParseValue(*width)
+	if err != nil {
+		return fmt.Errorf("charmodels: -width: %w", err)
+	}
+	a := core.NewAnalyzer()
+	if *fast {
+		a.Base.Margin = 1.0 * phys.Micron
+		a.Base.StepOutside = 0.5 * phys.Micron
+	}
+	models, err := a.ViaArrayModels(*arrayN, w, 1e10, ac, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	set := viaarray.ModelSet{
+		ArrayN: *arrayN,
+		FailK:  viaarray.FailKForResistanceFactor(*arrayN, resistanceFactorOf(ac)),
+		Models: models,
+	}
+	dst := os.Stdout
+	if *out != "" {
+		fo, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer fo.Close()
+		dst = fo
+	}
+	return set.Save(dst)
+}
+
+func resistanceFactorOf(c core.ArrayCriterion) float64 {
+	if c.WeakestLink {
+		return 1 // FailKForResistanceFactor(n, 1) = 1: first via
+	}
+	return c.ResistanceFactor
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	deck := fs.String("deck", "", "SPICE deck path (required; node names n<layer>_<x>_<y>)")
+	models := fs.String("models", "", "precomputed via-array model set JSON (skips FEA + characterization)")
+	arrayN := fs.Int("array", 4, "via-array configuration n (n×n)")
+	arrayCrit := fs.String("arraycrit", "rinf", "via-array failure criterion: wl, 2x, rinf")
+	sysCrit := fs.String("syscrit", "ir", "system failure criterion: wl, ir")
+	irFrac := fs.Float64("irfrac", 0.10, "IR-drop threshold, fraction of Vdd")
+	vdd := fs.Float64("vdd", 1.8, "supply voltage")
+	trials := fs.Int("trials", 500, "Monte-Carlo trials (both levels)")
+	seed := fs.Int64("seed", 2017, "random seed")
+	fast := fs.Bool("fast", false, "coarse FEA meshes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *deck == "" {
+		return fmt.Errorf("analyze: -deck is required")
+	}
+	f, err := os.Open(*deck)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spec := pdn.PG1Spec()
+	spec.Vdd = *vdd
+	g, err := pdn.LoadDeck(f, spec)
+	if err != nil {
+		return err
+	}
+
+	ac, err := parseArrayCriterion(*arrayCrit)
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	var sc pdn.Criterion
+	switch *sysCrit {
+	case "wl":
+		sc = pdn.WeakestLink
+	case "ir":
+		sc = pdn.IRDrop
+	default:
+		return fmt.Errorf("analyze: unknown -syscrit %q", *sysCrit)
+	}
+
+	a := core.NewAnalyzer()
+	if *fast {
+		a.Base.Margin = 1.0 * phys.Micron
+		a.Base.StepOutside = 0.5 * phys.Micron
+	}
+	analysis := core.GridAnalysis{
+		Grid:            g,
+		ArrayN:          *arrayN,
+		ArrayCriterion:  ac,
+		SystemCriterion: sc,
+		IRDropFrac:      *irFrac,
+		CharTrials:      *trials,
+		GridTrials:      *trials,
+		Seed:            *seed,
+	}
+	var rep *core.GridReport
+	if *models != "" {
+		mf, err := os.Open(*models)
+		if err != nil {
+			return err
+		}
+		set, err := viaarray.LoadModelSet(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+		analysis.ArrayN = set.ArrayN
+		rep, err = a.AnalyzeGridWithModels(analysis, set.Models)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		rep, err = a.AnalyzeGrid(analysis)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("grid: %d via arrays; via config %dx%d; array criterion %v; system criterion %v\n",
+		len(g.Vias), *arrayN, *arrayN, ac, sc)
+	for _, p := range []float64{0.003, 0.25, 0.5, 0.75, 0.997} {
+		fmt.Printf("  %6.3g%%ile TTF: %7.2f years\n", p*100, rep.PercentileYears(p))
+	}
+	if inf := len(rep.MC.TTF) - rep.TTF.Len(); inf > 0 {
+		fmt.Printf("  (%d of %d trials never reached the criterion)\n", inf, len(rep.MC.TTF))
+	}
+	return nil
+}
+
+func cmdXSection(args []string) error {
+	fs := flag.NewFlagSet("xsection", flag.ExitOnError)
+	arrayN := fs.Int("array", 4, "via-array configuration n (n×n)")
+	pattern := fs.String("pattern", "plus", "intersection pattern: plus, t, l")
+	width := fs.String("width", "2u", "wire width (SPICE suffixes)")
+	spacing := fs.String("spacing", "0", "minimum via spacing (0 = equal-area geometry)")
+	px := fs.Int("px", 800, "image width in pixels")
+	out := fs.String("out", "", "output SVG path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := cudd.DefaultParams()
+	p.ArrayN = *arrayN
+	switch *pattern {
+	case "plus":
+		p.Pattern = cudd.Plus
+	case "t":
+		p.Pattern = cudd.TShape
+	case "l":
+		p.Pattern = cudd.LShape
+	default:
+		return fmt.Errorf("xsection: unknown pattern %q", *pattern)
+	}
+	w, err := spice.ParseValue(*width)
+	if err != nil {
+		return fmt.Errorf("xsection: -width: %w", err)
+	}
+	p.WireWidth = w
+	sp, err := spice.ParseValue(*spacing)
+	if err != nil {
+		return fmt.Errorf("xsection: -spacing: %w", err)
+	}
+	p.ViaSpacing = sp
+	// Finer in-array resolution renders crisper via outlines.
+	if v, err := p.Validate(); err == nil {
+		p.StepArray = v.ViaSide() / 2
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	return cudd.WriteStructureSVG(dst, p, *px)
+}
+
+func cmdHotspots(args []string) error {
+	fs := flag.NewFlagSet("hotspots", flag.ExitOnError)
+	deck := fs.String("deck", "", "SPICE deck path (required)")
+	models := fs.String("models", "", "precomputed via-array model set JSON (required)")
+	irFrac := fs.Float64("irfrac", 0.10, "IR-drop threshold, fraction of Vdd")
+	vdd := fs.Float64("vdd", 1.8, "supply voltage")
+	trials := fs.Int("trials", 500, "Monte-Carlo trials")
+	seed := fs.Int64("seed", 2017, "random seed")
+	top := fs.Int("top", 15, "how many hotspots to list")
+	irmap := fs.String("irmap", "", "also write the nominal IR-drop heatmap SVG here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *deck == "" || *models == "" {
+		return fmt.Errorf("hotspots: -deck and -models are required")
+	}
+	f, err := os.Open(*deck)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spec := pdn.PG1Spec()
+	spec.Vdd = *vdd
+	g, err := pdn.LoadDeck(f, spec)
+	if err != nil {
+		return err
+	}
+	mf, err := os.Open(*models)
+	if err != nil {
+		return err
+	}
+	set, err := viaarray.LoadModelSet(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	if *irmap != "" {
+		// The heatmap needs the lattice dimensions; infer from via extremes.
+		maxX, maxY := 0, 0
+		for _, v := range g.Vias {
+			if v.IX > maxX {
+				maxX = v.IX
+			}
+			if v.IY > maxY {
+				maxY = v.IY
+			}
+		}
+		g.Spec.NX, g.Spec.NY = maxX+1, maxY+1
+		mf, err := os.Create(*irmap)
+		if err != nil {
+			return err
+		}
+		if err := g.WriteIRDropSVG(mf, 640); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *irmap)
+	}
+	res, err := pdn.AnalyzeTTF(pdn.TTFConfig{
+		Grid: g, Models: set.Models, Criterion: pdn.IRDrop, IRDropFrac: *irFrac,
+	}, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	rep, err := pdn.CriticalityReport(g, res, *top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-14s %14s %14s\n", "array", "pattern", "first-failures", "involvements")
+	for _, e := range rep {
+		fmt.Printf("(%3d,%3d)  %-14s %14d %14d\n", e.Via.IX, e.Via.IY, e.Via.Pattern, e.FirstFailures, e.Involvements)
+	}
+	return nil
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	pattern := fs.String("pattern", "plus", "intersection pattern: plus, t, l")
+	width := fs.String("width", "2u", "wire width (SPICE suffixes)")
+	spacing := fs.String("spacing", "0", "minimum via spacing rule")
+	crit := fs.String("arraycrit", "2x", "array failure criterion: wl, 2x, rinf")
+	trials := fs.Int("trials", 500, "Monte-Carlo trials per candidate")
+	seed := fs.Int64("seed", 2017, "random seed")
+	fast := fs.Bool("fast", false, "coarse FEA meshes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var pat cudd.Pattern
+	switch *pattern {
+	case "plus":
+		pat = cudd.Plus
+	case "t":
+		pat = cudd.TShape
+	case "l":
+		pat = cudd.LShape
+	default:
+		return fmt.Errorf("optimize: unknown pattern %q", *pattern)
+	}
+	w, err := spice.ParseValue(*width)
+	if err != nil {
+		return fmt.Errorf("optimize: -width: %w", err)
+	}
+	sp, err := spice.ParseValue(*spacing)
+	if err != nil {
+		return fmt.Errorf("optimize: -spacing: %w", err)
+	}
+	ac, err := parseArrayCriterion(*crit)
+	if err != nil {
+		return fmt.Errorf("optimize: %w", err)
+	}
+	a := core.NewAnalyzer()
+	if *fast {
+		a.Base.Margin = 1.0 * phys.Micron
+		a.Base.StepOutside = 0.5 * phys.Micron
+	}
+	choices, best, err := a.OptimizeArray(core.OptimizeArraySpec{
+		Pattern:    pat,
+		WireWidth:  w,
+		ViaSpacing: sp,
+		Criterion:  ac,
+		Trials:     *trials,
+		Seed:       *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %12s %14s %12s %s\n", "config", "extent (um)", "worst-case (y)", "median (y)", "note")
+	for i, c := range choices {
+		if !c.Feasible {
+			fmt.Printf("%dx%-5d %12s %14s %12s %s\n", c.ArrayN, c.ArrayN, "-", "-", "-", c.Reason)
+			continue
+		}
+		note := ""
+		if i == best {
+			note = "<== best"
+		}
+		fmt.Printf("%dx%-5d %12.2f %14.2f %12.2f %s\n",
+			c.ArrayN, c.ArrayN, c.ExtentM/phys.Micron*1, c.WorstCaseYears, c.MedianYears, note)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Command emsweep performs one-at-a-time sensitivity analysis of the
+// stress-aware EM model: each physical parameter is perturbed by ±delta
+// around its default and the resulting shift of the via-array TTF metrics
+// is reported as a tornado table. Because most of the constants in
+// equations (1)–(4) are foundry-confidential, knowing which of them the
+// headline metrics actually hinge on is a prerequisite for trusting any
+// absolute number.
+//
+// Usage:
+//
+//	emsweep [-delta 0.1] [-trials 400] [-array 4] [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"emvia/internal/core"
+	"emvia/internal/cudd"
+	"emvia/internal/phys"
+	"emvia/internal/stat"
+)
+
+type knob struct {
+	name  string
+	apply func(a *core.Analyzer, factor float64)
+}
+
+func knobs() []knob {
+	return []knob{
+		{"flaw radius Rf", func(a *core.Analyzer, f float64) { a.EM.RfMean *= f }},
+		{"surface energy gamma_s", func(a *core.Analyzer, f float64) { a.EM.GammaS *= f }},
+		{"activation energy Ea", func(a *core.Analyzer, f float64) { a.EM.Ea *= f }},
+		{"bulk modulus B", func(a *core.Analyzer, f float64) { a.EM.Bulk *= f }},
+		{"diffusivity D0", func(a *core.Analyzer, f float64) { a.EM.D0 *= f }},
+		{"Deff spread sigma", func(a *core.Analyzer, f float64) { a.EM.DeffLogSigma *= f }},
+		{"operating T (C)", func(a *core.Analyzer, f float64) { a.EM.TempC *= f }},
+		{"stress-free T (C)", func(a *core.Analyzer, f float64) {
+			a.Base.AnnealT *= f // changes ΔT and hence every σ_T
+		}},
+		{"package stress +20 MPa", func(a *core.Analyzer, f float64) {
+			// Additive knob: f>1 adds tensile package stress, f<1 subtracts.
+			if f > 1 {
+				a.PackageStress += 20e6
+			} else if f < 1 {
+				a.PackageStress -= 20e6
+			}
+		}},
+	}
+}
+
+func main() {
+	delta := flag.Float64("delta", 0.10, "relative perturbation per knob")
+	trials := flag.Int("trials", 400, "Monte-Carlo trials per evaluation")
+	arrayN := flag.Int("array", 4, "via-array configuration n (n×n)")
+	fast := flag.Bool("fast", false, "coarse FEA meshes")
+	seed := flag.Int64("seed", 2017, "random seed")
+	flag.Parse()
+
+	mkAnalyzer := func() *core.Analyzer {
+		a := core.NewAnalyzer()
+		if *fast {
+			a.Base.Margin = 1.0 * phys.Micron
+			a.Base.StepOutside = 0.5 * phys.Micron
+			a.Base.StepZBulk = 1.0 * phys.Micron
+		}
+		return a
+	}
+	eval := func(a *core.Analyzer) (median, worst float64, err error) {
+		c, err := a.CharacterizeViaArray(cudd.Plus, *arrayN, a.Base.WireWidth, 1e10,
+			core.ArrayOpenCircuit(), *trials, *seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		e, err := stat.NewECDF(c.Result.Samples)
+		if err != nil {
+			return 0, 0, err
+		}
+		return phys.SecondsToYears(e.Percentile(0.5)), phys.SecondsToYears(e.Percentile(0.003)), nil
+	}
+
+	baseMed, baseWorst, err := eval(mkAnalyzer())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emsweep: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("baseline %dx%d Plus array (R=inf): median %.2f y, worst-case %.2f y\n\n",
+		*arrayN, *arrayN, baseMed, baseWorst)
+
+	type row struct {
+		name           string
+		lowMed, hiMed  float64
+		swingMedianPct float64
+	}
+	var rows []row
+	for _, k := range knobs() {
+		var med [2]float64
+		ok := true
+		for s, f := range []float64{1 - *delta, 1 + *delta} {
+			a := mkAnalyzer()
+			k.apply(a, f)
+			m, _, err := eval(a)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "emsweep: %s ×%.2f: %v (skipped)\n", k.name, f, err)
+				ok = false
+				break
+			}
+			med[s] = m
+		}
+		if !ok {
+			continue
+		}
+		rows = append(rows, row{
+			name:           k.name,
+			lowMed:         med[0],
+			hiMed:          med[1],
+			swingMedianPct: 100 * math.Abs(med[1]-med[0]) / baseMed,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].swingMedianPct > rows[j].swingMedianPct })
+
+	fmt.Printf("%-26s %12s %12s %10s\n", "parameter (±"+fmt.Sprintf("%.0f%%", *delta*100)+")", "-delta (y)", "+delta (y)", "swing")
+	for _, r := range rows {
+		fmt.Printf("%-26s %12.2f %12.2f %9.1f%%\n", r.name, r.lowMed, r.hiMed, r.swingMedianPct)
+	}
+	fmt.Println("\nswing = |median(+delta) − median(−delta)| / baseline median")
+}

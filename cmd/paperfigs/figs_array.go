@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"emvia/internal/core"
+	"emvia/internal/cudd"
+	"emvia/internal/phys"
+	"emvia/internal/stat"
+	"emvia/internal/textplot"
+)
+
+// refJ is the paper's via-array characterization current density (A/m² over
+// the 1 µm² array).
+const refJ = 1e10
+
+// printCDFStats prints the percentiles the paper reads off its CDFs.
+func printCDFStats(name string, samples []float64) error {
+	e, err := stat.NewECDF(samples)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("%-28s n=%4d  0.3%%=%6.2fy  25%%=%6.2fy  50%%=%6.2fy  75%%=%6.2fy  99.7%%=%6.2fy\n",
+		name, e.Len(),
+		phys.SecondsToYears(e.Percentile(0.003)),
+		phys.SecondsToYears(e.Percentile(0.25)),
+		phys.SecondsToYears(e.Percentile(0.5)),
+		phys.SecondsToYears(e.Percentile(0.75)),
+		phys.SecondsToYears(e.Percentile(0.997)))
+	return nil
+}
+
+// fig8a reproduces Figure 8(a): CDFs of the 4×4 Plus-shaped array TTF under
+// failure criteria n_F ∈ {1, 2, 4, 8, 14, 15, 16}.
+func fig8a(a *core.Analyzer, opt options) error {
+	char, err := a.CharacterizeViaArray(cudd.Plus, 4, a.Base.WireWidth, refJ, core.ArrayOpenCircuit(), opt.trials, opt.seed)
+	if err != nil {
+		return err
+	}
+	plot := &textplot.Plot{
+		Title:  "Fig 8a: CDF of 4x4 Plus array TTF vs failure criterion n_F",
+		XLabel: "TTF (years)",
+		YLabel: "cumulative probability",
+	}
+	for _, nf := range []int{1, 2, 4, 8, 14, 15, 16} {
+		samples := char.Result.CriterionSamples(nf)
+		name := fmt.Sprintf("%dth via", nf)
+		if nf == 1 {
+			name = "1st via"
+		} else if nf == 2 {
+			name = "2nd via"
+		} else if nf == 16 {
+			name = "last via"
+		}
+		if err := printCDFStats("fig8a "+name, samples); err != nil {
+			return err
+		}
+		if err := plot.Add(textplot.CDFSeries(name, samples, phys.Year)); err != nil {
+			return err
+		}
+	}
+	return plot.Render(os.Stdout)
+}
+
+// fig8b reproduces Figure 8(b): CDFs for the three intersection patterns at
+// the n_F = 8 criterion.
+func fig8b(a *core.Analyzer, opt options) error {
+	plot := &textplot.Plot{
+		Title:  "Fig 8b: CDF of 4x4 array TTF per intersection pattern (n_F = 8)",
+		XLabel: "TTF (years)",
+		YLabel: "cumulative probability",
+	}
+	for i, pat := range cudd.Patterns() {
+		char, err := a.CharacterizeViaArray(pat, 4, a.Base.WireWidth, refJ, core.ArrayResistance2x(), opt.trials, opt.seed+int64(i))
+		if err != nil {
+			return err
+		}
+		samples := char.Result.CriterionSamples(8)
+		if err := printCDFStats("fig8b "+pat.String(), samples); err != nil {
+			return err
+		}
+		if err := plot.Add(textplot.CDFSeries(pat.String(), samples, phys.Year)); err != nil {
+			return err
+		}
+	}
+	return plot.Render(os.Stdout)
+}
+
+// fig9 reproduces Figure 9: TTF comparison of 1×1, 4×4 and 8×8 arrays under
+// the R = 2× and R = ∞ criteria.
+func fig9(a *core.Analyzer, opt options) error {
+	plot := &textplot.Plot{
+		Title:  "Fig 9: TTF comparison, 1x1 / 4x4 / 8x8 via arrays",
+		XLabel: "TTF (years)",
+		YLabel: "cumulative probability",
+	}
+	type cfg struct {
+		n      int
+		factor float64
+	}
+	cfgs := []cfg{
+		{1, math.Inf(1)},
+		{4, 2}, {4, math.Inf(1)},
+		{8, 2}, {8, math.Inf(1)},
+	}
+	for i, c := range cfgs {
+		crit := core.ArrayCriterion{ResistanceFactor: c.factor}
+		char, err := a.CharacterizeViaArray(cudd.Plus, c.n, a.Base.WireWidth, refJ, crit, opt.trials, opt.seed+int64(i))
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%dx%d, R=inf", c.n, c.n)
+		if !math.IsInf(c.factor, 1) {
+			label = fmt.Sprintf("%dx%d, R=%gx", c.n, c.n, c.factor)
+		}
+		if err := printCDFStats("fig9 "+label, char.Result.Samples); err != nil {
+			return err
+		}
+		if err := plot.Add(textplot.CDFSeries(label, char.Result.Samples, phys.Year)); err != nil {
+			return err
+		}
+	}
+	return plot.Render(os.Stdout)
+}

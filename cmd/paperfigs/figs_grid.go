@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"emvia/internal/core"
+	"emvia/internal/pdn"
+	"emvia/internal/phys"
+	"emvia/internal/textplot"
+)
+
+// gridTuning matches the paper's benchmark preparation: nominal worst IR
+// drop well inside the 10 % criterion, busiest via array at the
+// characterization reference current.
+const (
+	nominalIRFrac = 0.065
+	refViaAmps    = refJ * 1e-12 // reference current density × 1 µm² array
+	irCriterion   = 0.10
+)
+
+// buildGrid generates and tunes a benchmark-analogue grid.
+func buildGrid(spec pdn.GridSpec, fast bool) (*pdn.Grid, error) {
+	if fast {
+		spec.NX /= 2
+		spec.NY /= 2
+		if spec.PadPeriod > spec.NX {
+			spec.PadPeriod = spec.NX
+		}
+	}
+	g, err := pdn.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Tune(nominalIRFrac, refViaAmps); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// criterionCombos enumerates the four (system, array) criterion pairs of
+// Fig 10 and Table 2.
+type combo struct {
+	sys   pdn.Criterion
+	array core.ArrayCriterion
+}
+
+func combos() []combo {
+	return []combo{
+		{pdn.WeakestLink, core.ArrayWeakestLink()},
+		{pdn.WeakestLink, core.ArrayOpenCircuit()},
+		{pdn.IRDrop, core.ArrayWeakestLink()},
+		{pdn.IRDrop, core.ArrayOpenCircuit()},
+	}
+}
+
+func comboName(c combo) string {
+	return fmt.Sprintf("System: %s, via array: %s", c.sys, c.array)
+}
+
+// fig10 reproduces Figure 10: grid TTF CDFs for PG1 with 4×4 and 8×8 via
+// arrays under the four criterion combinations.
+func fig10(a *core.Analyzer, opt options) error {
+	g, err := buildGrid(pdn.PG1Spec(), opt.fast)
+	if err != nil {
+		return err
+	}
+	for _, n := range []int{4, 8} {
+		plot := &textplot.Plot{
+			Title:  fmt.Sprintf("Fig 10: TTF for PG1 with %dx%d via arrays", n, n),
+			XLabel: "TTF (years)",
+			YLabel: "percentile",
+		}
+		for i, c := range combos() {
+			rep, err := a.AnalyzeGrid(core.GridAnalysis{
+				Grid:            g,
+				ArrayN:          n,
+				ArrayCriterion:  c.array,
+				SystemCriterion: c.sys,
+				IRDropFrac:      irCriterion,
+				CharTrials:      opt.trials,
+				GridTrials:      opt.gridTrials,
+				Seed:            opt.seed + int64(100*n+i),
+			})
+			if err != nil {
+				return fmt.Errorf("fig10 %dx%d %s: %w", n, n, comboName(c), err)
+			}
+			name := comboName(c)
+			if err := printCDFStats(fmt.Sprintf("fig10 %dx%d %s", n, n, name), rep.TTF.Values()); err != nil {
+				return err
+			}
+			if err := plot.Add(textplot.CDFSeries(name, rep.TTF.Values(), phys.Year)); err != nil {
+				return err
+			}
+		}
+		if err := plot.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// figTable2 reproduces Table 2: worst-case (0.3 %ile) TTF for the PG1, PG2
+// and PG5 benchmark analogues across all criterion combinations and via
+// configurations.
+func figTable2(a *core.Analyzer, opt options) error {
+	specs := []pdn.GridSpec{pdn.PG1Spec(), pdn.PG2Spec(), pdn.PG5Spec()}
+	for _, n := range []int{4, 8} {
+		fmt.Printf("Worst-case TTF (years) when %dx%d via array used\n", n, n)
+		fmt.Printf("%-6s %28s %28s\n", "", "Weakest-link system", "Performance (10% IR-drop)")
+		fmt.Printf("%-6s %13s %14s %13s %14s\n", "PG", "WL array", "R=inf array", "WL array", "R=inf array")
+		for _, spec := range specs {
+			g, err := buildGrid(spec, opt.fast)
+			if err != nil {
+				return fmt.Errorf("table2 %s: %w", spec.Name, err)
+			}
+			row := []string{}
+			for _, c := range combos() {
+				rep, err := a.AnalyzeGrid(core.GridAnalysis{
+					Grid:            g,
+					ArrayN:          n,
+					ArrayCriterion:  c.array,
+					SystemCriterion: c.sys,
+					IRDropFrac:      irCriterion,
+					CharTrials:      opt.trials,
+					GridTrials:      opt.gridTrials,
+					Seed:            opt.seed + int64(10*n),
+				})
+				if err != nil {
+					return fmt.Errorf("table2 %s %dx%d %s: %w", spec.Name, n, n, comboName(c), err)
+				}
+				row = append(row, fmt.Sprintf("%.1f", rep.WorstCaseYears()))
+			}
+			fmt.Printf("%-6s %13s %14s %13s %14s\n", spec.Name, row[0], row[1], row[2], row[3])
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"emvia/internal/core"
+	"emvia/internal/cudd"
+	"emvia/internal/phys"
+)
+
+func TestWindowAroundArrayClipsAndRebases(t *testing.T) {
+	p := cudd.DefaultParams() // 4×4, extent 1.75 µm, domain centre at 3.6 µm
+	xs := make([]float64, 100)
+	sh := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i) * 0.072 * phys.Micron // spans 0..7.13 µm
+		sh[i] = 200e6
+	}
+	wx, wy, x0 := windowAroundArray(p, xs, sh)
+	if len(wx) == 0 || len(wx) != len(wy) {
+		t.Fatalf("window lengths %d/%d", len(wx), len(wy))
+	}
+	v, err := p.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx := v.WireWidth/2 + v.Margin
+	half := v.ArrayExtent()/2 + 0.5*phys.Micron
+	for _, x := range wx {
+		if x < cx-half-1e-12 || x > cx+half+1e-12 {
+			t.Fatalf("window sample %g outside [%g, %g]", x, cx-half, cx+half)
+		}
+	}
+	if math.Abs(x0-(cx-half)) > 1e-12 {
+		t.Errorf("x0 = %g, want window start %g", x0, cx-half)
+	}
+	// The rebased window spans roughly the paper's 0..(extent+1µm) axis.
+	span := (wx[len(wx)-1] - x0) / phys.Micron
+	if span < 2 || span > 3 {
+		t.Errorf("window span = %g µm, want ≈ 2.75", span)
+	}
+}
+
+func TestFineParamsResolution(t *testing.T) {
+	a := core.NewAnalyzer()
+	p := fineParams(a, 4, cudd.TShape)
+	if p.Pattern != cudd.TShape || p.ArrayN != 4 {
+		t.Errorf("fineParams lost configuration: %+v", p)
+	}
+	// Two elements per via: StepArray = side/2.
+	wantStep := 0.5 * math.Sqrt(p.ViaArea) / 4
+	if math.Abs(p.StepArray-wantStep) > 1e-15 {
+		t.Errorf("StepArray = %g, want %g", p.StepArray, wantStep)
+	}
+}
+
+func TestCombosCoverPaperMatrix(t *testing.T) {
+	cs := combos()
+	if len(cs) != 4 {
+		t.Fatalf("combos = %d, want 4", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		names[comboName(c)] = true
+	}
+	if len(names) != 4 {
+		t.Errorf("combo names not distinct: %v", names)
+	}
+}
+
+func TestPrintCDFStatsRejectsEmpty(t *testing.T) {
+	if err := printCDFStats("x", nil); err == nil {
+		t.Error("accepted empty samples")
+	}
+	if err := printCDFStats("x", []float64{1, 2, 3}); err != nil {
+		t.Errorf("rejected valid samples: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+// Stressprofile reproduces the paper's opening observation (Fig 1): the
+// thermomechanical stress under a single wide via differs structurally from
+// the stress under a via array of the same total area — the array's inner
+// vias are protected. It builds both Cu DD structures, runs the FEA, prints
+// the stress scan across the via row, and quantifies the lifetime impact of
+// the stress difference with the EM nucleation model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"emvia/internal/cudd"
+	"emvia/internal/emdist"
+	"emvia/internal/fem"
+	"emvia/internal/phys"
+)
+
+func main() {
+	em := emdist.Default()
+
+	for _, n := range []int{1, 4} {
+		p := cudd.DefaultParams()
+		p.ArrayN = n
+		p.Pattern = cudd.Plus
+		// Two elements across each via so the intra-via stress dip resolves.
+		p.StepArray = 0.5 * math.Sqrt(p.ViaArea) / float64(n)
+		res, err := cudd.Characterize(p, fem.SolveOptions{})
+		if err != nil {
+			log.Fatalf("characterizing %dx%d: %v", n, n, err)
+		}
+
+		fmt.Printf("==== %dx%d via array (total area 1 um^2, 2 um wire, Plus pattern) ====\n", n, n)
+		row := 0
+		if n > 1 {
+			row = 1
+		}
+		xs, sh := res.RowScan(row)
+		fmt.Println("scan through via row (x um, sigma_H MPa):")
+		for i := range xs {
+			fmt.Printf("  %7.3f %8.1f\n", xs[i]/phys.Micron, sh[i]/phys.MPa)
+		}
+		fmt.Printf("per-via peak sigma_T: min %.1f MPa, max %.1f MPa\n",
+			res.MinPeak()/phys.MPa, res.MaxPeak()/phys.MPa)
+
+		// The paper: "this stress difference translates to a lifetime
+		// improvement of ~2 years for each inner via". Quantify with the
+		// nucleation model at the reference current density.
+		tBest := em.MedianTTF(res.MinPeak(), 1e10)
+		tWorst := em.MedianTTF(res.MaxPeak(), 1e10)
+		fmt.Printf("median single-via TTF: most-stressed %.2f y, least-stressed %.2f y (gain %.2f y)\n\n",
+			phys.SecondsToYears(tWorst), phys.SecondsToYears(tBest),
+			phys.SecondsToYears(tBest-tWorst))
+	}
+}

@@ -1,0 +1,3 @@
+module emvia
+
+go 1.22

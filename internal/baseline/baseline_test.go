@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"emvia/internal/pdn"
+	"emvia/internal/phys"
+)
+
+func TestDefaultBlackCalibrated(t *testing.T) {
+	b := DefaultBlack()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := b.MedianTTF(1e10, phys.CelsiusToKelvin(105))
+	if math.Abs(got-8*phys.Year)/(8*phys.Year) > 1e-9 {
+		t.Errorf("calibrated median = %g years", phys.SecondsToYears(got))
+	}
+}
+
+func TestBlackValidate(t *testing.T) {
+	cases := []Black{
+		{A: 0, N: 2, Ea: 1e-19},
+		{A: 1, N: 0, Ea: 1e-19},
+		{A: 1, N: 2, Ea: 0},
+		{A: 1, N: 2, Ea: 1e-19, LogSigma: -1},
+	}
+	for i, b := range cases {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBlackScalings(t *testing.T) {
+	b := DefaultBlack()
+	tk := phys.CelsiusToKelvin(105)
+	// n = 2: doubling j quarters the lifetime.
+	r := b.MedianTTF(1e10, tk) / b.MedianTTF(2e10, tk)
+	if math.Abs(r-4) > 1e-9 {
+		t.Errorf("current scaling ratio = %g, want 4", r)
+	}
+	// Higher temperature shortens life.
+	if b.MedianTTF(1e10, phys.CelsiusToKelvin(300)) >= b.MedianTTF(1e10, tk) {
+		t.Error("hotter lifetime not shorter")
+	}
+	if !math.IsInf(b.MedianTTF(0, tk), 1) {
+		t.Error("zero current not immortal")
+	}
+}
+
+func TestAccelerationFactorConsistency(t *testing.T) {
+	// AF must equal the ratio of median lifetimes at the two conditions.
+	b := DefaultBlack()
+	jTest, tTest := 3e10, phys.CelsiusToKelvin(300)
+	jUse, tUse := 1e10, phys.CelsiusToKelvin(105)
+	af := b.AccelerationFactor(jTest, tTest, jUse, tUse)
+	want := b.MedianTTF(jUse, tUse) / b.MedianTTF(jTest, tTest)
+	if math.Abs(af-want)/want > 1e-9 {
+		t.Errorf("AF = %g, lifetime ratio = %g", af, want)
+	}
+	if af <= 1 {
+		t.Errorf("AF = %g, accelerated test must be shorter-lived", af)
+	}
+}
+
+func TestAccelerationFactorProperty(t *testing.T) {
+	b := DefaultBlack()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		j1 := 1e9 * (1 + 50*rng.Float64())
+		j2 := 1e9 * (1 + 50*rng.Float64())
+		t1 := phys.CelsiusToKelvin(50 + 300*rng.Float64())
+		t2 := phys.CelsiusToKelvin(50 + 300*rng.Float64())
+		// AF(a→b)·AF(b→a) = 1.
+		prod := b.AccelerationFactor(j1, t1, j2, t2) * b.AccelerationFactor(j2, t2, j1, t1)
+		return math.Abs(prod-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func tunedGrid(t *testing.T) *pdn.Grid {
+	t.Helper()
+	spec := pdn.PG1Spec()
+	spec.NX, spec.NY = 8, 8
+	spec.PadPeriod = 3
+	g, err := pdn.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Tune(0.065, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestScreenCurrentDensity(t *testing.T) {
+	g := tunedGrid(t)
+	const viaArea = 1e-12
+	// The grid was tuned so the busiest array carries 0.01 A → 1e10 A/m².
+	res, err := ScreenCurrentDensity(g, viaArea, 1.2e10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != len(g.Vias) {
+		t.Fatalf("entries = %d, want %d", len(res.Entries), len(g.Vias))
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations at relaxed limit = %d, want 0", res.Violations)
+	}
+	// Entries sorted descending; the top one is near the tuning target.
+	top := res.Entries[0].J
+	if math.Abs(top-1e10)/1e10 > 0.06 {
+		t.Errorf("top current density = %g, want ≈ 1e10", top)
+	}
+	for i := 1; i < len(res.Entries); i++ {
+		if res.Entries[i].J > res.Entries[i-1].J {
+			t.Fatal("entries not sorted descending")
+		}
+	}
+	// Tighten the limit: violations appear and Pass flags agree.
+	strict, err := ScreenCurrentDensity(g, viaArea, 0.5e10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Violations == 0 {
+		t.Error("no violations at strict limit")
+	}
+	count := 0
+	for _, e := range strict.Entries {
+		if !e.Pass {
+			count++
+		}
+	}
+	if count != strict.Violations {
+		t.Errorf("violation count mismatch: %d vs %d", count, strict.Violations)
+	}
+	if _, err := ScreenCurrentDensity(g, 0, 1e10); err == nil {
+		t.Error("accepted zero via area")
+	}
+}
+
+func TestWeakestLinkGridTTF(t *testing.T) {
+	g := tunedGrid(t)
+	b := DefaultBlack()
+	tk := phys.CelsiusToKelvin(105)
+	med, err := WeakestLinkGridTTF(g, b, 1e-12, tk, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := WeakestLinkGridTTF(g, b, 1e-12, tk, 0.003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(worst < med) {
+		t.Errorf("0.3%%ile %g not below median %g", worst, med)
+	}
+	// The weakest-link grid must die before its busiest single array's
+	// median (minimum of many ≤ each term).
+	single := b.MedianTTF(1e10, tk)
+	if med >= single {
+		t.Errorf("grid median %g not below busiest-array median %g", med, single)
+	}
+	if med <= 0 {
+		t.Errorf("median = %g", med)
+	}
+	// Quantile monotonicity.
+	q9, err := WeakestLinkGridTTF(g, b, 1e-12, tk, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(med < q9) {
+		t.Errorf("median %g not below 90%%ile %g", med, q9)
+	}
+	if _, err := WeakestLinkGridTTF(g, b, 1e-12, tk, 0); err == nil {
+		t.Error("accepted quantile 0")
+	}
+	bad := b
+	bad.A = 0
+	if _, err := WeakestLinkGridTTF(g, bad, 1e-12, tk, 0.5); err == nil {
+		t.Error("accepted invalid model")
+	}
+}
+
+func TestWeakestLinkMatchesMonteCarlo(t *testing.T) {
+	// Cross-check the analytic min-lognormal quantile against brute-force
+	// sampling.
+	g := tunedGrid(t)
+	b := DefaultBlack()
+	tk := phys.CelsiusToKelvin(105)
+	med, err := WeakestLinkGridTTF(g, b, 1e-12, tk, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monte Carlo the same minimum.
+	c, err := pdnCompile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	n := 4000
+	mins := make([]float64, n)
+	for k := 0; k < n; k++ {
+		minV := math.Inf(1)
+		for _, j := range c {
+			v := b.Dist(j, tk).Sample(rng)
+			if v < minV {
+				minV = v
+			}
+		}
+		mins[k] = minV
+	}
+	sortFloats(mins)
+	mcMed := mins[n/2]
+	if math.Abs(mcMed-med)/med > 0.05 {
+		t.Errorf("analytic median %g vs MC %g", med, mcMed)
+	}
+}
+
+// pdnCompile returns the per-array current densities of the pristine grid.
+func pdnCompile(g *pdn.Grid) ([]float64, error) {
+	res, err := ScreenCurrentDensity(g, 1e-12, math.Inf(1))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(res.Entries))
+	for _, e := range res.Entries {
+		if e.J > 0 {
+			out = append(out, e.J)
+		}
+	}
+	return out, nil
+}
+
+func sortFloats(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

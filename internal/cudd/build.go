@@ -1,0 +1,166 @@
+package cudd
+
+import (
+	"fmt"
+
+	"emvia/internal/mat"
+	"emvia/internal/mesh"
+)
+
+// stack holds the derived z coordinates of the layer boundaries.
+type stack struct {
+	subTop  float64 // substrate top = under-ILD bottom
+	mxBot   float64 // Mx bottom
+	mxTop   float64 // Mx top = cap1 bottom = via-layer bottom
+	capTop  float64 // cap1 top
+	viaTop  float64 // via-layer top = Mx+1 bottom
+	mx1Top  float64 // Mx+1 top = cap2 bottom
+	cap2Top float64 // cap2 top
+	zMax    float64 // over-ILD top (domain top)
+}
+
+func (p Params) stack() stack {
+	var s stack
+	s.subTop = p.SubstrateThickness
+	s.mxBot = s.subTop + p.UnderILD
+	s.mxTop = s.mxBot + p.metalThickness(p.LayerPair.Lower)
+	s.capTop = s.mxTop + p.CapThickness
+	s.viaTop = s.mxTop + p.ViaHeight
+	s.mx1Top = s.viaTop + p.metalThickness(p.LayerPair.Upper)
+	s.cap2Top = s.mx1Top + p.CapThickness
+	s.zMax = s.cap2Top + p.OverILD
+	return s
+}
+
+// Build constructs the painted rectilinear grid for the structure. The
+// returned grid is ready for fem.NewModel with DeltaT = p.DeltaT().
+func Build(p Params) (*mesh.Grid, Params, error) {
+	p, err := p.Validate()
+	if err != nil {
+		return nil, p, err
+	}
+	st := p.stack()
+	size := p.domainSize()
+	cx, cy := p.domainCenter()
+	w2 := p.WireWidth / 2
+	s := p.viaSide()
+	ext := p.arrayExtent()
+
+	// Lateral feature lines: domain edges, wire edges, wire terminations and
+	// every via edge. When StepArray is below the via side, via and gap
+	// midlines are added so each via spans ≥ 2 cells.
+	lateral := func(axis int) []float64 {
+		c := cx
+		if axis == 1 {
+			c = cy
+		}
+		f := []float64{0, size, c - w2, c + w2}
+		for k := 0; k < p.ArrayN; k++ {
+			lo := c - ext/2 + float64(k)*p.pitch()
+			f = append(f, lo, lo+s)
+			if p.StepArray < 0.99*s {
+				f = append(f, lo+s/2) // via midline
+				if k+1 < p.ArrayN {
+					f = append(f, lo+1.5*s) // gap midline
+				}
+			}
+		}
+		return f
+	}
+	snap := 1e-12
+	xs := mesh.Lines(lateral(0), p.StepOutside, snap)
+	ys := mesh.Lines(lateral(1), p.StepOutside, snap)
+
+	// Vertical lines: per-layer segments with layer-appropriate steps.
+	zs := concatLines([][3]float64{
+		{0, st.subTop, p.StepZBulk},
+		{st.subTop, st.mxBot, p.UnderILD},
+		{st.mxBot, st.mxTop, p.StepZMetal},
+		{st.mxTop, st.capTop, p.CapThickness},
+		{st.capTop, st.viaTop, p.StepZMetal},
+		{st.viaTop, st.mx1Top, p.StepZMetal},
+		{st.mx1Top, st.cap2Top, p.CapThickness},
+		{st.cap2Top, st.zMax, p.StepZBulk},
+	}, snap)
+	if p.LinerThickness > 0 {
+		zs = insertLine(zs, st.mxTop+p.LinerThickness, snap)
+	}
+
+	g, err := mesh.New(xs, ys, zs)
+	if err != nil {
+		return nil, p, fmt.Errorf("cudd: building grid: %w", err)
+	}
+
+	// 1. Bulk: substrate below, ILD everywhere above.
+	g.Paint(mesh.Box{X0: 0, X1: size, Y0: 0, Y1: size, Z0: 0, Z1: st.subTop}, mat.Silicon)
+	g.Paint(mesh.Box{X0: 0, X1: size, Y0: 0, Y1: size, Z0: st.subTop, Z1: st.zMax}, mat.SiCOH)
+
+	// 2. Capping slabs (deposited wafer-wide after CMP of each Cu layer).
+	g.Paint(mesh.Box{X0: 0, X1: size, Y0: 0, Y1: size, Z0: st.mxTop, Z1: st.capTop}, mat.SiN)
+	g.Paint(mesh.Box{X0: 0, X1: size, Y0: 0, Y1: size, Z0: st.mx1Top, Z1: st.cap2Top}, mat.SiN)
+
+	// 3. Wires. Mx runs along x, Mx+1 along y; T terminates the upper wire
+	// at the intersection, L terminates both (paper Fig. 5).
+	mxX0, mxX1 := 0.0, size
+	mx1Y0, mx1Y1 := 0.0, size
+	switch p.Pattern {
+	case TShape:
+		mx1Y1 = cy + w2
+	case LShape:
+		mx1Y1 = cy + w2
+		mxX1 = cx + w2
+	}
+	g.Paint(mesh.Box{X0: mxX0, X1: mxX1, Y0: cy - w2, Y1: cy + w2, Z0: st.mxBot, Z1: st.mxTop}, mat.Copper)
+	g.Paint(mesh.Box{X0: cx - w2, X1: cx + w2, Y0: mx1Y0, Y1: mx1Y1, Z0: st.viaTop, Z1: st.mx1Top}, mat.Copper)
+
+	// 4. Vias punch through the cap: Ta liner pad at the bottom, Cu above.
+	for j := 0; j < p.ArrayN; j++ {
+		for i := 0; i < p.ArrayN; i++ {
+			vx, vy := p.ViaCenter(i, j)
+			zCu := st.mxTop
+			if p.LinerThickness > 0 {
+				g.Paint(mesh.Box{
+					X0: vx - s/2, X1: vx + s/2, Y0: vy - s/2, Y1: vy + s/2,
+					Z0: st.mxTop, Z1: st.mxTop + p.LinerThickness,
+				}, mat.Tantalum)
+				zCu += p.LinerThickness
+			}
+			g.Paint(mesh.Box{
+				X0: vx - s/2, X1: vx + s/2, Y0: vy - s/2, Y1: vy + s/2,
+				Z0: zCu, Z1: st.viaTop,
+			}, mat.Copper)
+		}
+	}
+	return g, p, nil
+}
+
+// concatLines builds grid lines from contiguous [lo, hi, maxStep] segments.
+func concatLines(segments [][3]float64, snap float64) []float64 {
+	var out []float64
+	for _, seg := range segments {
+		lines := mesh.Lines([]float64{seg[0], seg[1]}, seg[2], snap)
+		if len(out) > 0 {
+			lines = lines[1:] // shared boundary
+		}
+		out = append(out, lines...)
+	}
+	return out
+}
+
+// insertLine adds a coordinate into an ascending line set unless an existing
+// line is within snap of it.
+func insertLine(lines []float64, v, snap float64) []float64 {
+	for i, l := range lines {
+		if v <= l+snap {
+			if v >= l-snap {
+				return lines // already present
+			}
+			out := make([]float64, 0, len(lines)+1)
+			out = append(out, lines[:i]...)
+			out = append(out, v)
+			out = append(out, lines[i:]...)
+			return out
+		}
+	}
+	return append(lines, v)
+}

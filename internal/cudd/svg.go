@@ -1,0 +1,86 @@
+package cudd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"emvia/internal/mat"
+	"emvia/internal/mesh"
+)
+
+// materialColors renders each Cu DD material in a conventional hue.
+var materialColors = map[mat.ID]string{
+	mat.Silicon:  "#6b6b6b",
+	mat.Copper:   "#c97a3d",
+	mat.SiCOH:    "#dfe8f0",
+	mat.Tantalum: "#3f6fb5",
+	mat.SiN:      "#7fb069",
+	mat.None:     "#ffffff",
+}
+
+// WriteCrossSectionSVG renders the x–z cross-section of a painted grid at
+// the given y coordinate as an SVG image (one rectangle per cell), the
+// equivalent of the paper's Fig 2/Fig 5 schematics for the structures this
+// library actually builds. The drawing is scaled to fit width pixels.
+func WriteCrossSectionSVG(w io.Writer, g *mesh.Grid, y float64, widthPx int) error {
+	if widthPx <= 0 {
+		widthPx = 800
+	}
+	_, j, _, ok := g.FindCell(g.X[0], y, g.Z[0])
+	if !ok {
+		return fmt.Errorf("cudd: y = %g outside the grid", y)
+	}
+	nx, _, nz := g.CellDims()
+	xSpan := g.X[len(g.X)-1] - g.X[0]
+	zSpan := g.Z[len(g.Z)-1] - g.Z[0]
+	scale := float64(widthPx) / xSpan
+	heightPx := int(zSpan*scale) + 1
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		widthPx, heightPx, widthPx, heightPx)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", widthPx, heightPx)
+	for k := 0; k < nz; k++ {
+		for i := 0; i < nx; i++ {
+			id := g.Material(i, j, k)
+			color, okc := materialColors[id]
+			if !okc {
+				color = "#ff00ff"
+			}
+			x0 := (g.X[i] - g.X[0]) * scale
+			x1 := (g.X[i+1] - g.X[0]) * scale
+			// SVG y grows downward; flip z so the substrate is at the bottom.
+			z0 := (zSpan - (g.Z[k+1] - g.Z[0])) * scale
+			z1 := (zSpan - (g.Z[k] - g.Z[0])) * scale
+			fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				x0, z0, x1-x0, z1-z0, color)
+		}
+	}
+	// Legend.
+	ly := 14
+	for _, id := range []mat.ID{mat.Silicon, mat.Copper, mat.SiCOH, mat.Tantalum, mat.SiN} {
+		fmt.Fprintf(bw, `<rect x="6" y="%d" width="12" height="12" fill="%s" stroke="black" stroke-width="0.5"/>`+"\n",
+			ly-10, materialColors[id])
+		fmt.Fprintf(bw, `<text x="22" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n", ly, id)
+		ly += 16
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+// WriteStructureSVG builds the structure for p and renders the cross-
+// section through the centre of the via array.
+func WriteStructureSVG(w io.Writer, p Params, widthPx int) error {
+	g, v, err := Build(p)
+	if err != nil {
+		return err
+	}
+	_, cy := v.domainCenter()
+	// Slice through the first via row so vias are visible; for odd single
+	// vias the centre works directly.
+	if v.ArrayN > 1 {
+		_, cy = v.ViaCenter(0, v.ArrayN/2)
+	}
+	return WriteCrossSectionSVG(w, g, cy, widthPx)
+}

@@ -1,0 +1,322 @@
+// Package emdist implements the electromigration void-nucleation physics of
+// the DAC'17 paper (§2): the Korhonen-model nucleation time of equations
+// (1)–(3) and the critical-stress distribution of equation (4).
+//
+// For Cu dual-damascene vias, slit voids under the via dominate failure and
+// the time-to-failure is the nucleation time
+//
+//	TTF ≈ t_n = (σ_C − σ_T)² · C_tn / D_eff   (0 when σ_C ≤ σ_T)
+//	D_eff = D0 · exp(−Ea / kB·T)
+//	C_tn  = (Ω/4) · [κ·kB·T / ((e·Z*·ρCu·j)² · B)]
+//
+// with σ_C = 2γs·sinθ_C / R_f lognormally distributed through the interface
+// flaw radius R_f, and D_eff lognormally distributed through process
+// variation. The κ in C_tn is π for the 1-D Korhonen diffusion solution; it
+// doubles as the model's dimensionless calibration knob.
+package emdist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"emvia/internal/mat"
+	"emvia/internal/phys"
+	"emvia/internal/stat"
+)
+
+// Params collects the EM material and model constants. Construct with
+// Default and override fields as needed; all zero-value fields are invalid.
+type Params struct {
+	// D0 is the diffusivity prefactor, m²/s.
+	D0 float64
+	// Ea is the effective activation energy, J.
+	Ea float64
+	// Omega is the atomic volume of Cu, m³.
+	Omega float64
+	// ZStar is the effective charge number |Z*|.
+	ZStar float64
+	// Rho is the Cu resistivity at operating temperature, Ω·m.
+	Rho float64
+	// Bulk is the effective bulk modulus B of the confined Cu/dielectric
+	// system, Pa.
+	Bulk float64
+	// Kappa is the dimensionless constant of equation (3); π for the 1-D
+	// Korhonen solution.
+	Kappa float64
+	// GammaS is the Cu surface free energy, J/m².
+	GammaS float64
+	// ThetaC is the void contact angle, radians (π/2 for circular flaws).
+	ThetaC float64
+	// RfMean and RfStdFrac give the lognormal flaw-radius distribution:
+	// mean in metres and standard deviation as a fraction of the mean
+	// (paper: 10 nm and 5 %).
+	RfMean    float64
+	RfStdFrac float64
+	// DeffLogSigma is the lognormal sigma of the process variation on
+	// D_eff (paper [2] models D_eff as lognormal).
+	DeffLogSigma float64
+	// TempC is the operating temperature, °C.
+	TempC float64
+}
+
+// Reference conditions used to calibrate the default D0: a via under the
+// nominal Plus-pattern 4×4 thermomechanical stress carrying the paper's
+// benchmark current density should have a median TTF of ~8 years, placing
+// the via-array and grid CDFs in the paper's 2–22 year window.
+const (
+	CalibrationSigmaT = 230e6 // Pa
+	CalibrationJ      = 1e10  // A/m²
+	CalibrationYears  = 8.0   // target median TTF, years
+)
+
+// Default returns the literature parameter set, with D0 calibrated so the
+// reference via meets CalibrationYears.
+func Default() Params {
+	p := Params{
+		D0:           7.8e-5, // placeholder; recalibrated below
+		Ea:           mat.EaCu,
+		Omega:        mat.OmegaCu,
+		ZStar:        mat.ZStarEff,
+		Rho:          mat.RhoCu,
+		Bulk:         mat.BulkModulusEff,
+		Kappa:        math.Pi,
+		GammaS:       mat.GammaSurfCu,
+		ThetaC:       math.Pi / 2,
+		RfMean:       10 * phys.Nanometre,
+		RfStdFrac:    0.05,
+		DeffLogSigma: 0.20,
+		TempC:        105,
+	}
+	p = p.CalibrateD0(CalibrationSigmaT, CalibrationJ, CalibrationYears)
+	return p
+}
+
+// Validate reports the first invalid field.
+func (p Params) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"D0", p.D0}, {"Ea", p.Ea}, {"Omega", p.Omega}, {"ZStar", p.ZStar},
+		{"Rho", p.Rho}, {"Bulk", p.Bulk}, {"Kappa", p.Kappa},
+		{"GammaS", p.GammaS}, {"RfMean", p.RfMean}, {"RfStdFrac", p.RfStdFrac},
+	}
+	for _, c := range checks {
+		if c.v <= 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("emdist: %s must be positive and finite, got %g", c.name, c.v)
+		}
+	}
+	if p.ThetaC <= 0 || p.ThetaC > math.Pi {
+		return fmt.Errorf("emdist: ThetaC must be in (0, π], got %g", p.ThetaC)
+	}
+	if p.DeffLogSigma < 0 {
+		return fmt.Errorf("emdist: DeffLogSigma must be ≥ 0, got %g", p.DeffLogSigma)
+	}
+	return nil
+}
+
+// TempK returns the operating temperature in Kelvin.
+func (p Params) TempK() float64 { return phys.CelsiusToKelvin(p.TempC) }
+
+// Deff returns the nominal effective diffusivity D0·exp(−Ea/kB·T), m²/s.
+func (p Params) Deff() float64 {
+	return phys.Arrhenius(p.D0, p.Ea, p.TempK())
+}
+
+// Ctn evaluates equation (3) for current density j (A/m²): the
+// proportionality constant between (σ_C−σ_T)²/D_eff and the nucleation
+// time, in s·m²/Pa².
+func (p Params) Ctn(j float64) float64 {
+	if j <= 0 {
+		return math.Inf(1)
+	}
+	force := phys.ElementaryCharge * p.ZStar * p.Rho * j // EM force per atom, N
+	return (p.Omega / 4) * p.Kappa * phys.Boltzmann * p.TempK() /
+		(force * force * p.Bulk)
+}
+
+// SigmaCDist returns the lognormal distribution of the critical stress
+// σ_C = 2γs·sinθ_C / R_f induced by the lognormal flaw radius: if
+// R_f ~ LogN(µ, s) then σ_C ~ LogN(ln(2γs·sinθ_C) − µ, s).
+func (p Params) SigmaCDist() (stat.LogNormal, error) {
+	rf, err := stat.LogNormalFromMoments(p.RfMean, p.RfStdFrac*p.RfMean)
+	if err != nil {
+		return stat.LogNormal{}, fmt.Errorf("emdist: flaw radius distribution: %w", err)
+	}
+	num := 2 * p.GammaS * math.Sin(p.ThetaC)
+	return stat.LogNormal{Mu: math.Log(num) - rf.Mu, Sigma: rf.Sigma}, nil
+}
+
+// NucleationTime evaluates equation (1) for explicit σ_C, σ_T (Pa) and j
+// (A/m²) with the nominal D_eff: the deterministic core of the model.
+// It returns 0 when σ_C ≤ σ_T (a void is immediately feasible) and +Inf
+// when j ≤ 0 (no EM driving force).
+func (p Params) NucleationTime(sigmaC, sigmaT, j float64) float64 {
+	if sigmaC <= sigmaT {
+		return 0
+	}
+	if j <= 0 {
+		return math.Inf(1)
+	}
+	d := sigmaC - sigmaT
+	return d * d * p.Ctn(j) / p.Deff()
+}
+
+// SampleTTF draws one via TTF (seconds) at thermomechanical stress sigmaT
+// (Pa) and current density j (A/m²), sampling both the critical stress and
+// the diffusivity variation.
+func (p Params) SampleTTF(rng *rand.Rand, sigmaT, j float64) float64 {
+	sc, err := p.SigmaCDist()
+	if err != nil {
+		panic(fmt.Sprintf("emdist: invalid params in SampleTTF: %v", err))
+	}
+	sigmaC := sc.Sample(rng)
+	t := p.NucleationTime(sigmaC, sigmaT, j)
+	if p.DeffLogSigma > 0 && t > 0 && !math.IsInf(t, 1) {
+		t *= math.Exp(-p.DeffLogSigma * rng.NormFloat64())
+	}
+	return t
+}
+
+// MedianTTF returns the TTF (seconds) at the median critical stress and
+// nominal diffusivity.
+func (p Params) MedianTTF(sigmaT, j float64) float64 {
+	sc, err := p.SigmaCDist()
+	if err != nil {
+		panic(fmt.Sprintf("emdist: invalid params in MedianTTF: %v", err))
+	}
+	return p.NucleationTime(sc.Median(), sigmaT, j)
+}
+
+// CalibrateD0 returns a copy of the parameters with D0 rescaled so that
+// MedianTTF(sigmaT, j) equals targetYears. This pins the absolute time
+// scale, which the paper's unpublished foundry constants would otherwise
+// leave free; all relative comparisons are unaffected.
+func (p Params) CalibrateD0(sigmaT, j, targetYears float64) Params {
+	cur := p.MedianTTF(sigmaT, j)
+	target := phys.YearsToSeconds(targetYears)
+	if cur <= 0 || math.IsInf(cur, 0) || target <= 0 {
+		return p
+	}
+	p.D0 *= cur / target
+	return p
+}
+
+// DriftVelocity returns the EM atomic drift velocity
+// v_d = (D_eff/kB·T)·e·Z*·ρ·j, m/s — the rate at which a nucleated void
+// grows along the line.
+func (p Params) DriftVelocity(j float64) float64 {
+	return p.Deff() / (phys.Boltzmann * p.TempK()) *
+		phys.ElementaryCharge * p.ZStar * p.Rho * j
+}
+
+// GrowthTime returns the void-growth phase duration for a void to reach
+// criticalSize (m) at current density j: t_g = criticalSize / v_d.
+//
+// For the Al-era failure mode the void must span the via (criticalSize ≈
+// via width, hundreds of nm) and growth dominates the TTF; for Cu dual-
+// damascene slit voids under the via only a few-nm slit at the liner
+// interface opens the circuit, making t_g ≪ t_n — the paper's §2.1
+// justification for TTF ≈ t_n.
+func (p Params) GrowthTime(j, criticalSize float64) float64 {
+	if criticalSize <= 0 {
+		return 0
+	}
+	v := p.DriftVelocity(j)
+	if v <= 0 {
+		return math.Inf(1)
+	}
+	return criticalSize / v
+}
+
+// TTFWithGrowth evaluates the two-phase TTF = t_n + t_g of the pre-Cu
+// literature (Korhonen [9]): nucleation at explicit σ_C, σ_T plus growth to
+// criticalSize.
+func (p Params) TTFWithGrowth(sigmaC, sigmaT, j, criticalSize float64) float64 {
+	return p.NucleationTime(sigmaC, sigmaT, j) + p.GrowthTime(j, criticalSize)
+}
+
+// WithTemp returns a copy of the parameters at another operating
+// temperature (°C); D_eff and C_tn pick up the change automatically.
+func (p Params) WithTemp(tC float64) Params {
+	p.TempC = tC
+	return p
+}
+
+// SigmaTAtTemp linearly rescales a thermomechanical stress characterized at
+// reference operating temperature tRefC (°C) to another temperature tC,
+// given the stress-free temperature tStressFreeC: within linear elasticity
+// σ_T ∝ (T − T_sf). At accelerated-test temperatures near the stress-free
+// point the residual stress nearly vanishes (or turns compressive), which
+// is exactly why stress-blind accelerated characterization misjudges
+// operating-condition EM (paper §1).
+func SigmaTAtTemp(sigmaTRef, tRefC, tC, tStressFreeC float64) float64 {
+	den := tRefC - tStressFreeC
+	if den == 0 {
+		return 0
+	}
+	return sigmaTRef * (tC - tStressFreeC) / den
+}
+
+// JMaxForLifetime inverts the nucleation model: the largest current density
+// (A/m²) a via at thermomechanical stress sigmaT can carry while its median
+// TTF stays at or above targetSeconds. This is the stress-aware version of
+// the foundry j_max limit of §1 — unlike the foundry's single number, it
+// depends on the via's layout through σ_T. Returns +Inf when the target is
+// non-positive and 0 when σ_T already exceeds the median critical stress.
+func (p Params) JMaxForLifetime(sigmaT, targetSeconds float64) float64 {
+	if targetSeconds <= 0 {
+		return math.Inf(1)
+	}
+	const jRef = 1e10
+	ref := p.MedianTTF(sigmaT, jRef)
+	if ref <= 0 {
+		return 0
+	}
+	if math.IsInf(ref, 1) {
+		return math.Inf(1)
+	}
+	// TTF ∝ 1/j² ⇒ j_max = j_ref · sqrt(TTF(j_ref)/target).
+	return jRef * math.Sqrt(ref/targetSeconds)
+}
+
+// TTFTempScale returns the multiplicative factor on a TTF that was
+// characterized at operating temperature tRefC with thermomechanical stress
+// sigmaTRef, when the component actually operates at tC: the ratio of
+// median nucleation times with both the Arrhenius diffusivity and the
+// linearly rescaled σ_T (stress-free at tStressFreeC) evaluated at each
+// temperature. Factors below 1 mean the hot spot ages faster.
+func (p Params) TTFTempScale(sigmaTRef, tRefC, tC, tStressFreeC, j float64) float64 {
+	ref := p.WithTemp(tRefC).MedianTTF(sigmaTRef, j)
+	at := p.WithTemp(tC).MedianTTF(SigmaTAtTemp(sigmaTRef, tRefC, tC, tStressFreeC), j)
+	if ref <= 0 || math.IsInf(ref, 1) {
+		return 1
+	}
+	if at <= 0 {
+		return 0
+	}
+	if math.IsInf(at, 1) {
+		return math.Inf(1)
+	}
+	return at / ref
+}
+
+// FitTTF fits a lognormal to n sampled TTFs at the given conditions; the
+// paper invokes Wilkinson's approximation to argue this fit is accurate.
+func (p Params) FitTTF(rng *rand.Rand, n int, sigmaT, j float64) (stat.LogNormal, error) {
+	if n < 2 {
+		return stat.LogNormal{}, fmt.Errorf("emdist: need ≥ 2 samples, got %d", n)
+	}
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		t := p.SampleTTF(rng, sigmaT, j)
+		if t > 0 && !math.IsInf(t, 1) {
+			samples = append(samples, t)
+		}
+	}
+	if len(samples) < 2 {
+		return stat.LogNormal{}, fmt.Errorf("emdist: conditions give immediate failure (σ_T ≥ σ_C almost surely)")
+	}
+	return stat.FitLogNormal(samples)
+}

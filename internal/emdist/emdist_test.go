@@ -1,0 +1,383 @@
+package emdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"emvia/internal/phys"
+)
+
+func TestDefaultIsValidAndCalibrated(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	got := phys.SecondsToYears(p.MedianTTF(CalibrationSigmaT, CalibrationJ))
+	if math.Abs(got-CalibrationYears)/CalibrationYears > 1e-9 {
+		t.Errorf("calibrated median TTF = %g years, want %g", got, CalibrationYears)
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	p := Default()
+	p.D0 = 0
+	if err := p.Validate(); err == nil {
+		t.Error("accepted zero D0")
+	}
+	p = Default()
+	p.ThetaC = -1
+	if err := p.Validate(); err == nil {
+		t.Error("accepted negative ThetaC")
+	}
+	p = Default()
+	p.DeffLogSigma = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("accepted negative DeffLogSigma")
+	}
+	p = Default()
+	p.RfMean = math.NaN()
+	if err := p.Validate(); err == nil {
+		t.Error("accepted NaN RfMean")
+	}
+}
+
+func TestSigmaCDistMatchesPaper(t *testing.T) {
+	p := Default()
+	sc, err := p.SigmaCDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ_C = 2γs/Rf with γs=1.725, Rf=10nm → median ≈ 345 MPa.
+	med := sc.Median()
+	if math.Abs(med-345e6)/345e6 > 0.01 {
+		t.Errorf("σ_C median = %g MPa, want ≈ 345", med/1e6)
+	}
+	// Paper §2.2: σ_C "can vary by as much as 100 MPa". Check the ±3σ
+	// spread is of order 100 MPa.
+	spread := sc.Quantile(0.9987) - sc.Quantile(0.0013)
+	if spread < 50e6 || spread > 200e6 {
+		t.Errorf("σ_C 6σ spread = %g MPa, want ~100", spread/1e6)
+	}
+}
+
+func TestNucleationTimeLimits(t *testing.T) {
+	p := Default()
+	if got := p.NucleationTime(200e6, 300e6, 1e10); got != 0 {
+		t.Errorf("σ_C < σ_T: TTF = %g, want 0", got)
+	}
+	if got := p.NucleationTime(300e6, 300e6, 1e10); got != 0 {
+		t.Errorf("σ_C = σ_T: TTF = %g, want 0", got)
+	}
+	if got := p.NucleationTime(300e6, 200e6, 0); !math.IsInf(got, 1) {
+		t.Errorf("j = 0: TTF = %g, want +Inf", got)
+	}
+	if got := p.NucleationTime(300e6, 200e6, 1e10); got <= 0 {
+		t.Errorf("normal conditions: TTF = %g, want > 0", got)
+	}
+}
+
+func TestTTFScalesInverseSquareCurrent(t *testing.T) {
+	// Equation (3): C_tn ∝ 1/j², so TTF(2j) = TTF(j)/4 — the scaling the
+	// paper uses to characterize at a reference current only.
+	p := Default()
+	t1 := p.NucleationTime(345e6, 230e6, 1e10)
+	t2 := p.NucleationTime(345e6, 230e6, 2e10)
+	if math.Abs(t1/t2-4) > 1e-9 {
+		t.Errorf("TTF ratio for 2× current = %g, want 4", t1/t2)
+	}
+}
+
+func TestTTFQuadraticInEffectiveStress(t *testing.T) {
+	p := Default()
+	t1 := p.NucleationTime(345e6, 245e6, 1e10) // Δ = 100 MPa
+	t2 := p.NucleationTime(345e6, 295e6, 1e10) // Δ = 50 MPa
+	if math.Abs(t1/t2-4) > 1e-9 {
+		t.Errorf("TTF ratio for 2× effective stress = %g, want 4", t1/t2)
+	}
+}
+
+func TestLowerSigmaTExtendsLifetime(t *testing.T) {
+	// The paper's headline mechanism: inner vias with lower σ_T live longer.
+	p := Default()
+	inner := p.MedianTTF(215e6, 1e10)
+	outer := p.MedianTTF(240e6, 1e10)
+	if inner <= outer {
+		t.Errorf("lower σ_T gives TTF %g ≤ higher σ_T TTF %g", inner, outer)
+	}
+	// The paper quotes ~2 years improvement for inner vias of a 4×4 array;
+	// with our calibration the gap should be of that order (years, not days
+	// or centuries).
+	gap := phys.SecondsToYears(inner - outer)
+	if gap < 0.3 || gap > 15 {
+		t.Errorf("inner-via lifetime gain = %.2f years, want order of years", gap)
+	}
+}
+
+func TestDeffArrhenius(t *testing.T) {
+	p := Default()
+	d105 := p.Deff()
+	p2 := p
+	p2.TempC = 300 // accelerated-test temperature
+	d300 := p2.Deff()
+	if d300 <= d105 {
+		t.Errorf("diffusivity not increasing with temperature: %g vs %g", d300, d105)
+	}
+	// Arrhenius consistency: ln ratio = Ea/kB·(1/T1 − 1/T2).
+	want := p.Ea / phys.Boltzmann * (1/p.TempK() - 1/p2.TempK())
+	if got := math.Log(d300 / d105); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Arrhenius ratio ln = %g, want %g", got, want)
+	}
+}
+
+func TestSampleTTFDistribution(t *testing.T) {
+	p := Default()
+	rng := rand.New(rand.NewSource(42))
+	n := 20000
+	var samples []float64
+	for i := 0; i < n; i++ {
+		v := p.SampleTTF(rng, 230e6, 1e10)
+		if v > 0 && !math.IsInf(v, 1) {
+			samples = append(samples, v)
+		}
+	}
+	if len(samples) < n*9/10 {
+		t.Fatalf("only %d/%d finite positive samples", len(samples), n)
+	}
+	// Median of samples should sit near MedianTTF (diffusivity noise is
+	// symmetric in log space, σ_C noise nearly so).
+	med := phys.SecondsToYears(p.MedianTTF(230e6, 1e10))
+	sorted := append([]float64(nil), samples...)
+	sortFloats(sorted)
+	gotMed := phys.SecondsToYears(sorted[len(sorted)/2])
+	if math.Abs(gotMed-med)/med > 0.1 {
+		t.Errorf("sample median = %.2f years, analytic median = %.2f", gotMed, med)
+	}
+}
+
+func sortFloats(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestFitTTFIsApproxLogNormal(t *testing.T) {
+	// The paper argues (via Wilkinson) that TTF is well approximated by a
+	// lognormal; validate with a KS test against the fitted lognormal.
+	p := Default()
+	rng := rand.New(rand.NewSource(7))
+	fit, err := p.FitTTF(rng, 20000, 230e6, 1e10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = p.SampleTTF(rng, 230e6, 1e10)
+	}
+	ecdfKS(t, samples, fit.CDF, 0.05)
+}
+
+func ecdfKS(t *testing.T, samples []float64, cdf func(float64) float64, tol float64) {
+	t.Helper()
+	var pos []float64
+	for _, s := range samples {
+		if s > 0 && !math.IsInf(s, 1) {
+			pos = append(pos, s)
+		}
+	}
+	n := float64(len(pos))
+	sortFloats(pos)
+	d := 0.0
+	for i, x := range pos {
+		f := cdf(x)
+		if v := math.Abs(f - float64(i)/n); v > d {
+			d = v
+		}
+		if v := math.Abs(float64(i+1)/n - f); v > d {
+			d = v
+		}
+	}
+	if d > tol {
+		t.Errorf("KS distance to fitted lognormal = %g, want < %g", d, tol)
+	}
+}
+
+func TestFitTTFErrors(t *testing.T) {
+	p := Default()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := p.FitTTF(rng, 1, 230e6, 1e10); err == nil {
+		t.Error("accepted n=1")
+	}
+	// σ_T far above any achievable σ_C: immediate failure everywhere.
+	if _, err := p.FitTTF(rng, 100, 2e9, 1e10); err == nil {
+		t.Error("accepted conditions with certain immediate failure")
+	}
+}
+
+func TestCalibrateD0Property(t *testing.T) {
+	// Property: calibration hits any positive target for any sane stress.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sigmaT := 150e6 + rng.Float64()*140e6 // below σ_C median
+		target := 0.5 + rng.Float64()*30
+		p := Default().CalibrateD0(sigmaT, 1e10, target)
+		got := phys.SecondsToYears(p.MedianTTF(sigmaT, 1e10))
+		return math.Abs(got-target)/target < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrateD0DegenerateNoop(t *testing.T) {
+	p := Default()
+	// σ_T above σ_C median → zero median TTF → calibration must not change D0.
+	q := p.CalibrateD0(500e6, 1e10, 10)
+	if q.D0 != p.D0 {
+		t.Error("degenerate calibration changed D0")
+	}
+	q = p.CalibrateD0(230e6, 1e10, 0)
+	if q.D0 != p.D0 {
+		t.Error("zero-target calibration changed D0")
+	}
+}
+
+func TestSigmaTAtTemp(t *testing.T) {
+	// Characterized: 230 MPa at 105 °C with stress-free 250 °C.
+	ref, tRef, tsf := 230e6, 105.0, 250.0
+	if got := SigmaTAtTemp(ref, tRef, tRef, tsf); got != ref {
+		t.Errorf("identity scaling = %g", got)
+	}
+	if got := SigmaTAtTemp(ref, tRef, tsf, tsf); got != 0 {
+		t.Errorf("stress-free point = %g, want 0", got)
+	}
+	// At 300 °C the residual stress flips compressive — the §1 blind spot.
+	got := SigmaTAtTemp(ref, tRef, 300, tsf)
+	if got >= 0 {
+		t.Errorf("stress at 300 °C = %g, want compressive", got)
+	}
+	want := ref * (300 - tsf) / (tRef - tsf)
+	if math.Abs(got-want) > 1 {
+		t.Errorf("scaling = %g, want %g", got, want)
+	}
+	if got := SigmaTAtTemp(ref, tsf, 300, tsf); got != 0 {
+		t.Errorf("degenerate reference = %g, want 0", got)
+	}
+}
+
+func TestWithTemp(t *testing.T) {
+	p := Default()
+	hot := p.WithTemp(300)
+	if hot.TempC != 300 || p.TempC != 105 {
+		t.Errorf("WithTemp mutated receiver or failed: %g / %g", hot.TempC, p.TempC)
+	}
+	if hot.Deff() <= p.Deff() {
+		t.Error("hot diffusivity not larger")
+	}
+}
+
+func TestGrowthPhaseSlitVsSpanning(t *testing.T) {
+	// Paper §2.1: for Cu DD slit voids the growth stage is rapid and TTF is
+	// nucleation-dominated; for Al-era spanning voids growth dominates.
+	p := Default()
+	j := 1e10
+	tn := p.MedianTTF(230e6, j)
+	slit := p.GrowthTime(j, 3*phys.Nanometre)       // slit under the liner
+	spanning := p.GrowthTime(j, 250*phys.Nanometre) // void spanning the via
+	if slit >= 0.2*tn {
+		t.Errorf("slit growth %g not ≪ nucleation %g", slit, tn)
+	}
+	if spanning <= slit {
+		t.Error("spanning-void growth not slower than slit growth")
+	}
+	// Growth scales linearly with the critical size.
+	ratio := spanning / slit
+	if math.Abs(ratio-250.0/3) > 1e-6*ratio {
+		t.Errorf("growth not linear in size: ratio %g", ratio)
+	}
+	if got := p.GrowthTime(j, 0); got != 0 {
+		t.Errorf("zero-size growth = %g", got)
+	}
+	if got := p.GrowthTime(0, 1e-9); !math.IsInf(got, 1) {
+		t.Errorf("zero-current growth = %g, want +Inf", got)
+	}
+}
+
+func TestDriftVelocityScalesWithCurrent(t *testing.T) {
+	p := Default()
+	v1, v2 := p.DriftVelocity(1e10), p.DriftVelocity(2e10)
+	if math.Abs(v2/v1-2) > 1e-12 {
+		t.Errorf("drift velocity not linear in j: %g vs %g", v1, v2)
+	}
+	if v1 <= 0 {
+		t.Errorf("drift velocity = %g", v1)
+	}
+}
+
+func TestTTFWithGrowthAdds(t *testing.T) {
+	p := Default()
+	tn := p.NucleationTime(345e6, 230e6, 1e10)
+	tg := p.GrowthTime(1e10, 100e-9)
+	got := p.TTFWithGrowth(345e6, 230e6, 1e10, 100e-9)
+	if math.Abs(got-(tn+tg)) > 1e-6*(tn+tg) {
+		t.Errorf("TTFWithGrowth = %g, want %g", got, tn+tg)
+	}
+	// With σ_C < σ_T nucleation is instant and only growth remains.
+	if got := p.TTFWithGrowth(200e6, 230e6, 1e10, 100e-9); math.Abs(got-tg) > 1e-9*tg {
+		t.Errorf("instant-nucleation TTF = %g, want growth-only %g", got, tg)
+	}
+}
+
+func TestJMaxForLifetime(t *testing.T) {
+	p := Default()
+	target := phys.YearsToSeconds(10)
+	// Round trip: at j = JMax, the median TTF equals the target.
+	j := p.JMaxForLifetime(230e6, target)
+	if j <= 0 || math.IsInf(j, 1) {
+		t.Fatalf("JMax = %g", j)
+	}
+	if got := p.MedianTTF(230e6, j); math.Abs(got-target)/target > 1e-9 {
+		t.Errorf("TTF at JMax = %g years, want 10", phys.SecondsToYears(got))
+	}
+	// Lower stress allows more current — the stress-aware limit is layout-
+	// dependent, unlike the foundry's single number.
+	if !(p.JMaxForLifetime(210e6, target) > j) {
+		t.Error("lower σ_T did not raise the allowed current density")
+	}
+	// Degenerate regimes.
+	if got := p.JMaxForLifetime(230e6, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero target: %g", got)
+	}
+	if got := p.JMaxForLifetime(500e6, target); got != 0 {
+		t.Errorf("σ_T above σ_C: %g, want 0", got)
+	}
+}
+
+func TestTTFTempScale(t *testing.T) {
+	p := Default()
+	// Identity at the reference temperature.
+	if s := p.TTFTempScale(230e6, 105, 105, 250, 1e10); math.Abs(s-1) > 1e-12 {
+		t.Errorf("identity scale = %g", s)
+	}
+	// Hotter than reference: Arrhenius acceleration wins over stress
+	// relaxation only beyond a crossover; at slightly hotter the net effect
+	// must be finite and positive.
+	s110 := p.TTFTempScale(230e6, 105, 110, 250, 1e10)
+	if s110 <= 0 || math.IsInf(s110, 0) {
+		t.Errorf("scale at 110C = %g", s110)
+	}
+	// Much colder than the stress-free point from above: σ_T grows past
+	// σ_C → immediate failure → zero scale.
+	if s := p.TTFTempScale(230e6, 105, -50, 250, 1e10); s != 0 {
+		t.Errorf("deep-cold scale = %g, want 0", s)
+	}
+	// At the stress-free temperature the residual stress vanishes and the
+	// diffusivity is much higher: the balance is finite.
+	s250 := p.TTFTempScale(230e6, 105, 250, 250, 1e10)
+	if s250 <= 0 || math.IsInf(s250, 0) {
+		t.Errorf("scale at stress-free T = %g", s250)
+	}
+}

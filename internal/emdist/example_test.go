@@ -1,0 +1,33 @@
+package emdist_test
+
+import (
+	"fmt"
+
+	"emvia/internal/emdist"
+	"emvia/internal/phys"
+)
+
+// Equation (1) end to end: the inner vias of a 4×4 array see lower
+// thermomechanical stress than the perimeter, which extends their
+// nucleation-limited lifetime — the paper's "~2 years per inner via".
+func ExampleParams_MedianTTF() {
+	em := emdist.Default()
+	perimeter := em.MedianTTF(235e6, 1e10) // corner-via stress
+	inner := em.MedianTTF(222e6, 1e10)     // inner-via stress
+	fmt.Printf("perimeter %.1f y, inner %.1f y, gain %.1f y\n",
+		phys.SecondsToYears(perimeter), phys.SecondsToYears(inner),
+		phys.SecondsToYears(inner-perimeter))
+	// Output:
+	// perimeter 7.3 y, inner 9.1 y, gain 1.8 y
+}
+
+// Equation (3)'s 1/j² scaling lets a single reference-current
+// characterization serve every operating current.
+func ExampleParams_NucleationTime() {
+	em := emdist.Default()
+	ref := em.NucleationTime(345e6, 230e6, 1e10)
+	half := em.NucleationTime(345e6, 230e6, 0.5e10)
+	fmt.Printf("half the current lives %.0fx longer\n", half/ref)
+	// Output:
+	// half the current lives 4x longer
+}

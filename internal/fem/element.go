@@ -1,0 +1,150 @@
+package fem
+
+import (
+	"math"
+
+	"emvia/internal/mat"
+)
+
+// Natural-coordinate signs of the eight hex8 nodes, matching
+// mesh.Grid.CellNodes ordering (bottom face CCW, then top face).
+var hexSign = [8][3]float64{
+	{-1, -1, -1}, {1, -1, -1}, {1, 1, -1}, {-1, 1, -1},
+	{-1, -1, 1}, {1, -1, 1}, {1, 1, 1}, {-1, 1, 1},
+}
+
+// gauss2 holds the two-point Gauss abscissae on [-1, 1] (weights are 1).
+var gauss2 = [2]float64{-1 / math.Sqrt(3.0), 1 / math.Sqrt(3.0)}
+
+// elastD fills the 6×6 isotropic elasticity matrix in engineering Voigt
+// order [εxx εyy εzz γxy γyz γzx].
+func elastD(p mat.Elastic) [36]float64 {
+	lambda, mu := p.Lame()
+	var d [36]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				d[i*6+j] = lambda + 2*mu
+			} else {
+				d[i*6+j] = lambda
+			}
+		}
+	}
+	d[3*6+3] = mu
+	d[4*6+4] = mu
+	d[5*6+5] = mu
+	return d
+}
+
+// shapeGrad fills dN/dx for the 8 nodes of an axis-aligned box element of
+// size (dx,dy,dz) at natural coordinates (xi,eta,zeta).
+func shapeGrad(dx, dy, dz, xi, eta, zeta float64) [8][3]float64 {
+	var g [8][3]float64
+	for a := 0; a < 8; a++ {
+		sx, sy, sz := hexSign[a][0], hexSign[a][1], hexSign[a][2]
+		// dN/dξ · dξ/dx with dξ/dx = 2/dx for a box element.
+		g[a][0] = sx * (1 + sy*eta) * (1 + sz*zeta) / 8 * 2 / dx
+		g[a][1] = sy * (1 + sx*xi) * (1 + sz*zeta) / 8 * 2 / dy
+		g[a][2] = sz * (1 + sx*xi) * (1 + sy*eta) / 8 * 2 / dz
+	}
+	return g
+}
+
+// bMatrix fills the 6×24 strain-displacement matrix from shape gradients.
+func bMatrix(grad [8][3]float64) [6 * 24]float64 {
+	var b [6 * 24]float64
+	for a := 0; a < 8; a++ {
+		gx, gy, gz := grad[a][0], grad[a][1], grad[a][2]
+		c := 3 * a
+		b[0*24+c] = gx   // εxx ← u_x
+		b[1*24+c+1] = gy // εyy ← u_y
+		b[2*24+c+2] = gz // εzz ← u_z
+		b[3*24+c] = gy   // γxy
+		b[3*24+c+1] = gx
+		b[4*24+c+1] = gz // γyz
+		b[4*24+c+2] = gy
+		b[5*24+c] = gz // γzx
+		b[5*24+c+2] = gx
+	}
+	return b
+}
+
+// elemStiffness computes the 24×24 stiffness matrix and the 24-entry thermal
+// force vector of an axis-aligned box element.
+func elemStiffness(dx, dy, dz float64, p mat.Elastic, deltaT float64) (ke [24 * 24]float64, fe [24]float64) {
+	d := elastD(p)
+	detJw := dx * dy * dz / 8 // detJ × unit Gauss weight
+	// Thermal stress vector D·ε_th with ε_th = αΔT[1,1,1,0,0,0].
+	eth := p.CTE * deltaT
+	var dEth [6]float64
+	for i := 0; i < 6; i++ {
+		dEth[i] = (d[i*6+0] + d[i*6+1] + d[i*6+2]) * eth
+	}
+	for _, xi := range gauss2 {
+		for _, eta := range gauss2 {
+			for _, zeta := range gauss2 {
+				b := bMatrix(shapeGrad(dx, dy, dz, xi, eta, zeta))
+				// db = D·B (6×24)
+				var db [6 * 24]float64
+				for i := 0; i < 6; i++ {
+					for j := 0; j < 24; j++ {
+						s := 0.0
+						for k := 0; k < 6; k++ {
+							s += d[i*6+k] * b[k*24+j]
+						}
+						db[i*24+j] = s
+					}
+				}
+				// Ke += Bᵀ·(D·B)·detJw ; fe += Bᵀ·(D·ε_th)·detJw
+				for i := 0; i < 24; i++ {
+					for j := 0; j < 24; j++ {
+						s := 0.0
+						for k := 0; k < 6; k++ {
+							s += b[k*24+i] * db[k*24+j]
+						}
+						ke[i*24+j] += s * detJw
+					}
+					s := 0.0
+					for k := 0; k < 6; k++ {
+						s += b[k*24+i] * dEth[k]
+					}
+					fe[i] += s * detJw
+				}
+			}
+		}
+	}
+	return ke, fe
+}
+
+// elemCache memoizes element matrices by (size, material): rectilinear grids
+// repeat cell sizes heavily, so this removes nearly all element integration
+// cost.
+type elemCache struct {
+	deltaT float64
+	m      map[elemKey]*elemData
+}
+
+type elemKey struct {
+	dx, dy, dz float64
+	id         mat.ID
+}
+
+type elemData struct {
+	ke [24 * 24]float64
+	fe [24]float64
+}
+
+func newElemCache(deltaT float64) *elemCache {
+	return &elemCache{deltaT: deltaT, m: make(map[elemKey]*elemData)}
+}
+
+func (c *elemCache) get(dx, dy, dz float64, id mat.ID, p mat.Elastic) (*[24 * 24]float64, *[24]float64) {
+	k := elemKey{dx, dy, dz, id}
+	if d, ok := c.m[k]; ok {
+		return &d.ke, &d.fe
+	}
+	d := &elemData{}
+	d.ke, d.fe = elemStiffness(dx, dy, dz, p, c.deltaT)
+	c.m[k] = d
+	return &d.ke, &d.fe
+}

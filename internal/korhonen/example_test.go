@@ -1,0 +1,49 @@
+package korhonen_test
+
+import (
+	"fmt"
+
+	"emvia/internal/emdist"
+	"emvia/internal/korhonen"
+	"emvia/internal/phys"
+)
+
+// The closed-form nucleation time of the paper's equation (1) is the
+// first-crossing time of the Korhonen stress build-up; the PDE solver
+// reproduces it.
+func ExampleLine_NucleationTimeClosedForm() {
+	line := korhonen.Line{
+		Length: 200 * phys.Micron,
+		EM:     emdist.Default(),
+		J:      1e10,
+	}
+	crit := 115e6 // σ_C − σ_T, Pa
+	closed := line.NucleationTimeClosedForm(crit)
+	sol, err := line.Solve(2*closed, korhonen.SolveOptions{Nodes: 300, Steps: 900})
+	if err != nil {
+		panic(err)
+	}
+	numeric, ok := sol.FirstCrossing(crit)
+	if !ok {
+		panic("no crossing")
+	}
+	fmt.Printf("closed form %.1f y, PDE %.1f y\n",
+		phys.SecondsToYears(closed), phys.SecondsToYears(numeric))
+	// Output:
+	// closed form 7.9 y, PDE 7.9 y
+}
+
+// Short lines saturate below the critical stress and never fail: the Blech
+// immortality the grid's short wire segments enjoy.
+func ExampleImmortal() {
+	em := emdist.Default()
+	crit := 115e6
+	jl := korhonen.BlechProduct(em, crit)
+	fmt.Printf("threshold jL = %.2e A/m\n", jl)
+	fmt.Println("100 um at 1e10:", korhonen.Immortal(em, crit, 1e10, 100*phys.Micron))
+	fmt.Println(" 30 um at 1e10:", korhonen.Immortal(em, crit, 1e10, 30*phys.Micron))
+	// Output:
+	// threshold jL = 6.17e+05 A/m
+	// 100 um at 1e10: false
+	//  30 um at 1e10: true
+}

@@ -1,0 +1,270 @@
+// Package korhonen implements the 1-D stress-evolution model of Korhonen et
+// al. (J. Appl. Phys. 73, 1993), the physical foundation of the paper's
+// nucleation-time equation (1)–(3).
+//
+// In a confined metal line under electromigration, the hydrostatic stress
+// σ(x, t) obeys the diffusion-drift equation
+//
+//	∂σ/∂t = ∂/∂x [ κd · ( ∂σ/∂x + G ) ],   κd = D_eff·B·Ω / (kB·T)
+//
+// where G = e·Z*·ρ·j / Ω is the EM driving "stress gradient" and the line
+// is blocked at both ends (zero atomic flux: ∂σ/∂x + G = 0). Stress builds
+// up at the cathode end until it reaches the effective critical value
+// σ_C − σ_T, nucleating a void. For a semi-infinite line the cathode stress
+// grows as σ(0, t) = G·√(4·κd·t/π), which inverts to exactly equation (1)
+// with κ = π:
+//
+//	t_n = (π/4)·(σ_C − σ_T)²·Ω·kB·T / ((e·Z*·ρ·j)²·D_eff·B)
+//
+// The package provides a Crank–Nicolson finite-difference solver for the
+// transient (used to validate the closed form and to study finite-length
+// effects such as Blech saturation) and the closed-form helpers.
+package korhonen
+
+import (
+	"fmt"
+	"math"
+
+	"emvia/internal/emdist"
+	"emvia/internal/phys"
+)
+
+// Line describes a confined interconnect segment under EM stress.
+type Line struct {
+	// Length is the line length, m.
+	Length float64
+	// EM supplies D_eff, B, Ω, Z*, ρ and the temperature.
+	EM emdist.Params
+	// J is the current density, A/m² (electron flow toward x = 0, so
+	// tensile stress builds at x = 0, the cathode via).
+	J float64
+	// Sigma0 is the uniform initial stress (the thermomechanical σ_T
+	// enters the nucleation criterion separately; the solver works in the
+	// EM-induced stress increment, so Sigma0 is usually 0).
+	Sigma0 float64
+}
+
+// Kappa returns the stress diffusivity κd = D_eff·B·Ω/(kB·T), m²/s.
+func (l Line) Kappa() float64 {
+	return l.EM.Deff() * l.EM.Bulk * l.EM.Omega / (phys.Boltzmann * l.EM.TempK())
+}
+
+// DriveGradient returns G = e·Z*·ρ·j/Ω, the EM stress gradient, Pa/m.
+func (l Line) DriveGradient() float64 {
+	return phys.ElementaryCharge * l.EM.ZStar * l.EM.Rho * l.J / l.EM.Omega
+}
+
+// SteadyStateCathodeStress returns the Blech saturation stress G·L/2 above
+// the initial value: the maximum EM stress a finite blocked line can build.
+func (l Line) SteadyStateCathodeStress() float64 {
+	return l.Sigma0 + l.DriveGradient()*l.Length/2
+}
+
+// CathodeStressSemiInfinite returns the closed-form cathode stress of a
+// semi-infinite line at time t: σ(0,t) = σ0 + G·√(4·κd·t/π).
+func (l Line) CathodeStressSemiInfinite(t float64) float64 {
+	if t <= 0 {
+		return l.Sigma0
+	}
+	return l.Sigma0 + l.DriveGradient()*math.Sqrt(4*l.Kappa()*t/math.Pi)
+}
+
+// NucleationTimeClosedForm inverts the semi-infinite solution for the time
+// at which the cathode stress reaches sigmaCrit: the paper's equation (1)
+// with κ = π. It returns 0 when the initial stress already exceeds the
+// threshold and +Inf when a finite line saturates below it.
+func (l Line) NucleationTimeClosedForm(sigmaCrit float64) float64 {
+	d := sigmaCrit - l.Sigma0
+	if d <= 0 {
+		return 0
+	}
+	g := l.DriveGradient()
+	if g <= 0 {
+		return math.Inf(1)
+	}
+	if l.Length > 0 && sigmaCrit > l.SteadyStateCathodeStress() {
+		return math.Inf(1)
+	}
+	return math.Pi / 4 * d * d / (g * g * l.Kappa())
+}
+
+// BlechProduct returns the critical current-density × length product
+// (A/m) below which a blocked line of effective critical stress sigmaCrit
+// (= σ_C − σ_T) is immortal: saturation stress G·L/2 < sigmaCrit inverts to
+//
+//	j·L < 2·sigmaCrit·Ω / (e·Z*·ρ)
+//
+// This is the Blech short-length immunity the paper's grid-design assumption
+// ("spanning voids in wires have a very low probability") relies on.
+func BlechProduct(em emdist.Params, sigmaCrit float64) float64 {
+	if sigmaCrit <= 0 {
+		return 0
+	}
+	return 2 * sigmaCrit * em.Omega / (phys.ElementaryCharge * em.ZStar * em.Rho)
+}
+
+// Immortal reports whether a line of length L carrying j is Blech-immune at
+// effective critical stress sigmaCrit.
+func Immortal(em emdist.Params, sigmaCrit, j, length float64) bool {
+	if j <= 0 || length <= 0 {
+		return true
+	}
+	return j*length < BlechProduct(em, sigmaCrit)
+}
+
+// Solution is a transient stress profile history.
+type Solution struct {
+	// X are the node positions, m.
+	X []float64
+	// T are the output times, s.
+	T []float64
+	// Sigma[k][i] is the stress at time T[k], node X[i], Pa.
+	Sigma [][]float64
+}
+
+// CathodeHistory returns σ(0, t) over the solution times.
+func (s *Solution) CathodeHistory() (t, sigma []float64) {
+	t = s.T
+	sigma = make([]float64, len(s.T))
+	for k := range s.T {
+		sigma[k] = s.Sigma[k][0]
+	}
+	return t, sigma
+}
+
+// FirstCrossing returns the first output time at which the cathode stress
+// reaches sigmaCrit, linearly interpolated; ok is false if it never does.
+func (s *Solution) FirstCrossing(sigmaCrit float64) (float64, bool) {
+	_, hist := s.CathodeHistory()
+	for k := 1; k < len(hist); k++ {
+		if hist[k] >= sigmaCrit {
+			if hist[k] == hist[k-1] {
+				return s.T[k], true
+			}
+			f := (sigmaCrit - hist[k-1]) / (hist[k] - hist[k-1])
+			return s.T[k-1] + f*(s.T[k]-s.T[k-1]), true
+		}
+	}
+	return 0, false
+}
+
+// SolveOptions controls the transient solver.
+type SolveOptions struct {
+	// Nodes is the spatial resolution (default 200).
+	Nodes int
+	// Steps is the number of time steps (default 400).
+	Steps int
+	// OutEvery stores every k-th step in the solution (default stores
+	// ~100 frames).
+	OutEvery int
+}
+
+// Solve integrates the stress-evolution PDE to tEnd with Crank–Nicolson
+// time stepping and flux-blocking boundaries at both ends.
+func (l Line) Solve(tEnd float64, opt SolveOptions) (*Solution, error) {
+	if l.Length <= 0 {
+		return nil, fmt.Errorf("korhonen: line length must be positive, got %g", l.Length)
+	}
+	if tEnd <= 0 {
+		return nil, fmt.Errorf("korhonen: end time must be positive, got %g", tEnd)
+	}
+	if err := l.EM.Validate(); err != nil {
+		return nil, err
+	}
+	n := opt.Nodes
+	if n == 0 {
+		n = 200
+	}
+	if n < 3 {
+		return nil, fmt.Errorf("korhonen: need ≥ 3 nodes, got %d", n)
+	}
+	steps := opt.Steps
+	if steps == 0 {
+		steps = 400
+	}
+	outEvery := opt.OutEvery
+	if outEvery == 0 {
+		outEvery = steps / 100
+		if outEvery == 0 {
+			outEvery = 1
+		}
+	}
+
+	dx := l.Length / float64(n-1)
+	dt := tEnd / float64(steps)
+	kd := l.Kappa()
+	g := l.DriveGradient()
+	r := kd * dt / (dx * dx) // CN is unconditionally stable; r may be large
+
+	// Crank–Nicolson: (I − r/2·A)·σ^{m+1} = (I + r/2·A)·σ^m + dt·b where A
+	// is the 1-D Laplacian with Neumann-like flux-blocking boundaries
+	// ∂σ/∂x = −G, realized through ghost nodes:
+	//   σ_{-1} = σ_1 + 2·dx·G   (x = 0, cathode: flux J_a ∝ ∂σ/∂x + G = 0)
+	//   σ_{n}  = σ_{n-2} − 2·dx·G (x = L, anode)
+	// which adds constant source terms at the boundary rows.
+	sigma := make([]float64, n)
+	for i := range sigma {
+		sigma[i] = l.Sigma0
+	}
+	// Tridiagonal CN matrix (I − r/2·A).
+	lower := make([]float64, n)
+	diag := make([]float64, n)
+	upper := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = 1 + r
+		lower[i] = -r / 2
+		upper[i] = -r / 2
+	}
+	// Boundary rows: ghost elimination doubles the inner coupling.
+	upper[0] = -r
+	lower[n-1] = -r
+
+	sol := &Solution{}
+	sol.X = make([]float64, n)
+	for i := range sol.X {
+		sol.X[i] = float64(i) * dx
+	}
+	store := func(t float64) {
+		frame := make([]float64, n)
+		copy(frame, sigma)
+		sol.T = append(sol.T, t)
+		sol.Sigma = append(sol.Sigma, frame)
+	}
+	store(0)
+
+	rhs := make([]float64, n)
+	cp := make([]float64, n) // scratch for the Thomas algorithm
+	for m := 1; m <= steps; m++ {
+		// Explicit half: (I + r/2·A)·σ + dt·sources.
+		for i := 0; i < n; i++ {
+			switch i {
+			case 0:
+				rhs[i] = (1-r)*sigma[0] + r*sigma[1] + 2*r*dx*g/2 // ghost source, explicit half
+			case n - 1:
+				rhs[i] = (1-r)*sigma[n-1] + r*sigma[n-2] - 2*r*dx*g/2
+			default:
+				rhs[i] = (1-r)*sigma[i] + r/2*(sigma[i-1]+sigma[i+1])
+			}
+		}
+		// Implicit half's ghost sources move to the RHS too.
+		rhs[0] += 2 * r * dx * g / 2
+		rhs[n-1] -= 2 * r * dx * g / 2
+
+		// Thomas algorithm.
+		cp[0] = upper[0] / diag[0]
+		rhs[0] = rhs[0] / diag[0]
+		for i := 1; i < n; i++ {
+			m2 := diag[i] - lower[i]*cp[i-1]
+			cp[i] = upper[i] / m2
+			rhs[i] = (rhs[i] - lower[i]*rhs[i-1]) / m2
+		}
+		sigma[n-1] = rhs[n-1]
+		for i := n - 2; i >= 0; i-- {
+			sigma[i] = rhs[i] - cp[i]*sigma[i+1]
+		}
+		if m%outEvery == 0 || m == steps {
+			store(float64(m) * dt)
+		}
+	}
+	return sol, nil
+}

@@ -1,0 +1,117 @@
+// Package mat holds the material database for Cu dual-damascene (Cu DD)
+// interconnect structures: the mechanical properties of Table 1 of the DAC'17
+// paper plus the EM transport properties of copper needed by the nucleation
+// model.
+package mat
+
+import (
+	"fmt"
+
+	"emvia/internal/phys"
+)
+
+// ID names a material in the Cu DD stack.
+type ID uint8
+
+// The materials appearing in the simulated Cu DD structure (paper Fig. 2).
+const (
+	// None marks void/unused mesh cells (removed from the FE model).
+	None ID = iota
+	// Silicon is the substrate.
+	Silicon
+	// Copper is the bulk interconnect metal.
+	Copper
+	// SiCOH is the low-k inter-layer dielectric (ILD).
+	SiCOH
+	// Tantalum is the diffusion-barrier liner on via/trench walls.
+	Tantalum
+	// SiN is the Si3N4 capping layer bounding the top copper surface.
+	SiN
+
+	numMaterials
+)
+
+// String returns the conventional name of the material.
+func (id ID) String() string {
+	switch id {
+	case None:
+		return "none"
+	case Silicon:
+		return "Si"
+	case Copper:
+		return "Cu"
+	case SiCOH:
+		return "SiCOH"
+	case Tantalum:
+		return "Ta"
+	case SiN:
+		return "Si3N4"
+	}
+	return fmt.Sprintf("mat.ID(%d)", uint8(id))
+}
+
+// Elastic describes an isotropic linear-elastic material with thermal
+// expansion: Young's modulus E (Pa), Poisson ratio Nu, and the coefficient of
+// thermal expansion CTE (1/K).
+type Elastic struct {
+	E   float64 // Young's modulus, Pa
+	Nu  float64 // Poisson's ratio
+	CTE float64 // coefficient of thermal expansion, 1/K
+}
+
+// Lame returns the Lamé parameters (λ, µ) of the material.
+func (m Elastic) Lame() (lambda, mu float64) {
+	lambda = m.E * m.Nu / ((1 + m.Nu) * (1 - 2*m.Nu))
+	mu = m.E / (2 * (1 + m.Nu))
+	return lambda, mu
+}
+
+// BulkModulus returns K = E / (3(1−2ν)) in Pa.
+func (m Elastic) BulkModulus() float64 {
+	return m.E / (3 * (1 - 2*m.Nu))
+}
+
+// Table1 is the mechanical property set of Table 1 in the paper:
+// Young's modulus, Poisson's ratio and CTE for the five structural materials
+// of the Cu DD stack.
+var Table1 = map[ID]Elastic{
+	Silicon:  {E: 162.0 * phys.GPa, Nu: 0.28, CTE: 3.05 * phys.PPM},
+	Copper:   {E: 111.6 * phys.GPa, Nu: 0.34, CTE: 17.7 * phys.PPM},
+	SiCOH:    {E: 16.2 * phys.GPa, Nu: 0.27, CTE: 12.0 * phys.PPM},
+	Tantalum: {E: 185.7 * phys.GPa, Nu: 0.342, CTE: 6.5 * phys.PPM},
+	SiN:      {E: 222.8 * phys.GPa, Nu: 0.27, CTE: 3.2 * phys.PPM},
+}
+
+// Properties returns the elastic property set for a material, or an error if
+// the material is unknown or non-structural (None).
+func Properties(id ID) (Elastic, error) {
+	m, ok := Table1[id]
+	if !ok {
+		return Elastic{}, fmt.Errorf("mat: no properties for material %v", id)
+	}
+	return m, nil
+}
+
+// All lists the structural materials in a stable order.
+func All() []ID {
+	return []ID{Silicon, Copper, SiCOH, Tantalum, SiN}
+}
+
+// Copper EM transport properties used by the nucleation model. ρCu is taken
+// at the worst-case operating temperature of ~105 °C; Z* and Ea are standard
+// literature values for Cu grain-boundary/interface diffusion.
+const (
+	// RhoCu is the electrical resistivity of copper at ~105 °C, Ω·m.
+	RhoCu = 2.75e-8
+	// ZStarEff is the effective charge number |Z*| for Cu EM.
+	ZStarEff = 1.0
+	// OmegaCu is the atomic volume of copper, m³.
+	OmegaCu = 1.182e-29
+	// EaCu is the effective EM activation energy for Cu DD, J.
+	EaCu = 0.85 * phys.ElectronVolt
+	// BulkModulusEff is the effective bulk modulus B of the confined
+	// Cu/dielectric system entering the Korhonen model, Pa.
+	BulkModulusEff = 28.0 * phys.GPa
+	// GammaSurfCu is the copper surface free energy γs, J/m².
+	GammaSurfCu = 1.725
+)

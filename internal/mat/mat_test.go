@@ -1,0 +1,95 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"emvia/internal/phys"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// Paper Table 1, exactly.
+	cases := []struct {
+		id  ID
+		e   float64 // GPa
+		nu  float64
+		cte float64 // ppm/°C
+	}{
+		{Silicon, 162.0, 0.28, 3.05},
+		{Copper, 111.6, 0.34, 17.7},
+		{SiCOH, 16.2, 0.27, 12},
+		{Tantalum, 185.7, 0.342, 6.5},
+		{SiN, 222.8, 0.27, 3.2},
+	}
+	for _, c := range cases {
+		p, err := Properties(c.id)
+		if err != nil {
+			t.Fatalf("%v: %v", c.id, err)
+		}
+		if math.Abs(p.E-c.e*phys.GPa) > 1e6 {
+			t.Errorf("%v: E = %g", c.id, p.E)
+		}
+		if p.Nu != c.nu {
+			t.Errorf("%v: Nu = %g", c.id, p.Nu)
+		}
+		if math.Abs(p.CTE-c.cte*phys.PPM) > 1e-12 {
+			t.Errorf("%v: CTE = %g", c.id, p.CTE)
+		}
+	}
+}
+
+func TestPropertiesRejectsUnknown(t *testing.T) {
+	if _, err := Properties(None); err == nil {
+		t.Error("Properties(None) succeeded")
+	}
+	if _, err := Properties(ID(200)); err == nil {
+		t.Error("Properties(bogus) succeeded")
+	}
+}
+
+func TestLameRelations(t *testing.T) {
+	for _, id := range All() {
+		p := Table1[id]
+		lambda, mu := p.Lame()
+		// Reconstruct E and ν from (λ, µ).
+		e := mu * (3*lambda + 2*mu) / (lambda + mu)
+		nu := lambda / (2 * (lambda + mu))
+		if math.Abs(e-p.E)/p.E > 1e-12 {
+			t.Errorf("%v: E round trip %g vs %g", id, e, p.E)
+		}
+		if math.Abs(nu-p.Nu)/p.Nu > 1e-12 {
+			t.Errorf("%v: Nu round trip %g vs %g", id, nu, p.Nu)
+		}
+		// K = λ + 2µ/3.
+		if k := p.BulkModulus(); math.Abs(k-(lambda+2*mu/3))/k > 1e-12 {
+			t.Errorf("%v: K inconsistency", id)
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	want := map[ID]string{
+		None: "none", Silicon: "Si", Copper: "Cu",
+		SiCOH: "SiCOH", Tantalum: "Ta", SiN: "Si3N4",
+	}
+	for id, name := range want {
+		if got := id.String(); got != name {
+			t.Errorf("String(%d) = %q, want %q", id, got, name)
+		}
+	}
+	if got := ID(99).String(); got == "" {
+		t.Error("unknown ID has empty name")
+	}
+}
+
+func TestAllListsFiveStructuralMaterials(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() = %d materials", len(all))
+	}
+	for _, id := range all {
+		if _, err := Properties(id); err != nil {
+			t.Errorf("All() contains %v without properties", id)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package mc implements Algorithm 1 of the DAC'17 paper: Monte-Carlo
+// simulation of sequential EM failures in a redundant system. The same
+// engine runs at both hierarchy levels — vias inside a via array, and via
+// arrays inside a power grid — through the System interface.
+//
+// Each trial samples a base TTF for every component at its trial-start
+// current, then repeatedly fails the component with the least remaining
+// life. Failing a component redistributes current, which accelerates the
+// survivors; the engine models this with damage accumulation: component i
+// fails when its accumulated damage ∫ rate_i(t)·dt reaches its base TTF,
+// where rate_i is the system-reported relative aging rate (1 at trial
+// start, (j_new/j_0)² after redistribution, per the TTF ∝ 1/j² scaling of
+// the nucleation model).
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// System is a redundant system analyzed by Algorithm 1. Implementations are
+// stateful: BeginTrial resets electrical state, Fail mutates it.
+type System interface {
+	// NumComponents returns the number of failable components.
+	NumComponents() int
+	// BeginTrial resets the system and samples fresh component TTFs.
+	BeginTrial(rng *rand.Rand) error
+	// BaseTTF returns component i's sampled TTF in seconds under its
+	// trial-start conditions. May be 0 (immediately feasible void) or +Inf
+	// (no EM stress on this component).
+	BaseTTF(i int) float64
+	// AgingRate returns the current relative damage rate of surviving
+	// component i: 1 at trial start, rising when the component inherits
+	// current from failed neighbours.
+	AgingRate(i int) float64
+	// Fail marks component i failed and updates the electrical state
+	// (resistance change, current redistribution).
+	Fail(i int) error
+	// Failed reports whether the system-level failure criterion is
+	// breached in the current state.
+	Failed() (bool, error)
+}
+
+// Options configures a Monte-Carlo run.
+type Options struct {
+	// Trials is the number of Monte-Carlo trials (paper: N_trials = 500).
+	Trials int
+	// Seed makes the run reproducible; trial t derives its own generator
+	// from Seed and t, so results do not depend on scheduling.
+	Seed int64
+	// RunToCompletion keeps failing components after the system criterion
+	// fires, recording every failure event. Used by via-array
+	// characterization, which extracts all n_F criteria from one run.
+	RunToCompletion bool
+}
+
+// Result collects the per-trial outcomes.
+type Result struct {
+	// TTF is the per-trial system failure time in seconds (+Inf when the
+	// criterion never fired).
+	TTF []float64
+	// Events[t] lists the component-failure times of trial t in
+	// chronological order (all events when RunToCompletion, else the
+	// events up to and including system failure).
+	Events [][]float64
+	// EventComps[t] lists the component index of each failure of trial t,
+	// parallel to Events[t]. Used for criticality ranking: which
+	// components actually precipitate system failure.
+	EventComps [][]int
+}
+
+// FiniteTTF returns the finite system TTFs (dropping never-failed trials).
+func (r *Result) FiniteTTF() []float64 {
+	out := make([]float64, 0, len(r.TTF))
+	for _, t := range r.TTF {
+		if !math.IsInf(t, 1) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// KthFailureTimes returns the time of the k-th component failure (1-based)
+// in each trial that reached k failures. Requires RunToCompletion for
+// complete data.
+func (r *Result) KthFailureTimes(k int) []float64 {
+	var out []float64
+	for _, ev := range r.Events {
+		if k >= 1 && k <= len(ev) {
+			out = append(out, ev[k-1])
+		}
+	}
+	return out
+}
+
+// FirstFailureCounts tallies, per component, how many trials it was the
+// first to fail — the weakest-link criticality ranking a designer uses to
+// decide which components to upsize.
+func (r *Result) FirstFailureCounts(numComponents int) []int {
+	counts := make([]int, numComponents)
+	for _, comps := range r.EventComps {
+		if len(comps) > 0 && comps[0] >= 0 && comps[0] < numComponents {
+			counts[comps[0]]++
+		}
+	}
+	return counts
+}
+
+// FailureInvolvement tallies, per component, how many trials it failed at
+// any point before (or at) system failure.
+func (r *Result) FailureInvolvement(numComponents int) []int {
+	counts := make([]int, numComponents)
+	for _, comps := range r.EventComps {
+		for _, c := range comps {
+			if c >= 0 && c < numComponents {
+				counts[c]++
+			}
+		}
+	}
+	return counts
+}
+
+// trialSeed decorrelates per-trial generators.
+func trialSeed(seed int64, trial int) int64 {
+	x := uint64(seed) + uint64(trial)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return int64(x)
+}
+
+// Run executes the Monte-Carlo loop serially on one system instance.
+func Run(sys System, opt Options) (*Result, error) {
+	if opt.Trials < 1 {
+		return nil, fmt.Errorf("mc: Trials must be ≥ 1, got %d", opt.Trials)
+	}
+	res := &Result{
+		TTF:        make([]float64, opt.Trials),
+		Events:     make([][]float64, opt.Trials),
+		EventComps: make([][]int, opt.Trials),
+	}
+	for t := 0; t < opt.Trials; t++ {
+		rng := rand.New(rand.NewSource(trialSeed(opt.Seed, t)))
+		ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion)
+		if err != nil {
+			return nil, fmt.Errorf("mc: trial %d: %w", t, err)
+		}
+		res.TTF[t] = ttf
+		res.Events[t] = events
+		res.EventComps[t] = comps
+	}
+	return res, nil
+}
+
+// RunParallel executes trials across workers, each with its own System from
+// the factory. Results are identical to Run thanks to per-trial seeding.
+func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
+	if opt.Trials < 1 {
+		return nil, fmt.Errorf("mc: Trials must be ≥ 1, got %d", opt.Trials)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > opt.Trials {
+		workers = opt.Trials
+	}
+	res := &Result{
+		TTF:        make([]float64, opt.Trials),
+		Events:     make([][]float64, opt.Trials),
+		EventComps: make([][]int, opt.Trials),
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys, err := newSys()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= opt.Trials {
+					mu.Unlock()
+					return
+				}
+				t := next
+				next++
+				mu.Unlock()
+
+				rng := rand.New(rand.NewSource(trialSeed(opt.Seed, t)))
+				ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("mc: trial %d: %w", t, err)
+					}
+					mu.Unlock()
+					return
+				}
+				res.TTF[t] = ttf
+				res.Events[t] = events
+				res.EventComps[t] = comps
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// runTrial performs one sequential-failure trial.
+func runTrial(sys System, rng *rand.Rand, toCompletion bool) (systemTTF float64, events []float64, comps []int, err error) {
+	if err := sys.BeginTrial(rng); err != nil {
+		return 0, nil, nil, fmt.Errorf("BeginTrial: %w", err)
+	}
+	n := sys.NumComponents()
+	damage := make([]float64, n)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	now := 0.0
+	systemTTF = math.Inf(1)
+	systemFailed := false
+
+	for remaining := n; remaining > 0; remaining-- {
+		// Find the component with the least remaining life.
+		minDt := math.Inf(1)
+		minIdx := -1
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			rate := sys.AgingRate(i)
+			if rate < 0 || math.IsNaN(rate) {
+				return 0, nil, nil, fmt.Errorf("component %d: invalid aging rate %g", i, rate)
+			}
+			left := sys.BaseTTF(i) - damage[i]
+			if left < 0 {
+				left = 0
+			}
+			var dt float64
+			switch {
+			case rate == 0:
+				dt = math.Inf(1)
+			default:
+				dt = left / rate
+			}
+			if dt < minDt {
+				minDt = dt
+				minIdx = i
+			}
+		}
+		if minIdx < 0 || math.IsInf(minDt, 1) {
+			// No component can ever fail; the system survives forever.
+			break
+		}
+		// Advance time and accumulate damage on survivors.
+		now += minDt
+		for i := 0; i < n; i++ {
+			if alive[i] {
+				damage[i] += minDt * sys.AgingRate(i)
+			}
+		}
+		alive[minIdx] = false
+		if err := sys.Fail(minIdx); err != nil {
+			return 0, nil, nil, fmt.Errorf("Fail(%d): %w", minIdx, err)
+		}
+		events = append(events, now)
+		comps = append(comps, minIdx)
+
+		if !systemFailed {
+			failed, err := sys.Failed()
+			if err != nil {
+				return 0, nil, nil, fmt.Errorf("Failed check: %w", err)
+			}
+			if failed {
+				systemFailed = true
+				systemTTF = now
+				if !toCompletion {
+					break
+				}
+			}
+		}
+	}
+	return systemTTF, events, comps, nil
+}

@@ -1,0 +1,246 @@
+// Package mesh builds the rectilinear (tensor-product) 3-D hexahedral meshes
+// used by the finite-element thermomechanical solver.
+//
+// Cu dual-damascene structures are unions of axis-aligned boxes (layers,
+// wires, vias, liners), so a rectilinear grid whose lines are snapped to
+// every material feature edge meshes them exactly: each cell holds a single
+// material. Grid lines between features are subdivided to a caller-chosen
+// maximum step so the element aspect ratios stay sane.
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"emvia/internal/mat"
+)
+
+// Lines produces ascending grid-line coordinates covering every feature
+// coordinate exactly, with extra lines inserted so no interval exceeds
+// maxStep. Feature values closer than snapTol are merged (first wins).
+func Lines(features []float64, maxStep, snapTol float64) []float64 {
+	if len(features) == 0 {
+		return nil
+	}
+	f := make([]float64, len(features))
+	copy(f, features)
+	sort.Float64s(f)
+	uniq := f[:1]
+	for _, v := range f[1:] {
+		if v-uniq[len(uniq)-1] > snapTol {
+			uniq = append(uniq, v)
+		}
+	}
+	if maxStep <= 0 {
+		return uniq
+	}
+	var out []float64
+	for i := 0; i < len(uniq)-1; i++ {
+		a, b := uniq[i], uniq[i+1]
+		n := int(math.Ceil((b - a) / maxStep))
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			out = append(out, a+(b-a)*float64(k)/float64(n))
+		}
+	}
+	out = append(out, uniq[len(uniq)-1])
+	return out
+}
+
+// Grid is a rectilinear hexahedral mesh. X, Y, Z hold the ascending grid-line
+// coordinates; cell (i,j,k) spans [X[i],X[i+1]]×[Y[j],Y[j+1]]×[Z[k],Z[k+1]]
+// and carries one material. Cells marked mat.None are holes excluded from
+// the FE model.
+type Grid struct {
+	X, Y, Z []float64
+	cellMat []mat.ID
+}
+
+// New builds a grid from grid-line coordinate slices (each ascending, length
+// ≥ 2). All cells start as mat.None.
+func New(x, y, z []float64) (*Grid, error) {
+	for _, ax := range []struct {
+		name string
+		c    []float64
+	}{{"x", x}, {"y", y}, {"z", z}} {
+		if len(ax.c) < 2 {
+			return nil, fmt.Errorf("mesh: axis %s needs ≥ 2 grid lines, got %d", ax.name, len(ax.c))
+		}
+		for i := 1; i < len(ax.c); i++ {
+			if ax.c[i] <= ax.c[i-1] {
+				return nil, fmt.Errorf("mesh: axis %s grid lines not strictly ascending at %d", ax.name, i)
+			}
+		}
+	}
+	g := &Grid{X: x, Y: y, Z: z}
+	g.cellMat = make([]mat.ID, g.NumCells())
+	return g, nil
+}
+
+// CellDims returns the number of cells along each axis.
+func (g *Grid) CellDims() (nx, ny, nz int) {
+	return len(g.X) - 1, len(g.Y) - 1, len(g.Z) - 1
+}
+
+// NodeDims returns the number of nodes along each axis.
+func (g *Grid) NodeDims() (nx, ny, nz int) {
+	return len(g.X), len(g.Y), len(g.Z)
+}
+
+// NumCells returns the total cell count.
+func (g *Grid) NumCells() int {
+	nx, ny, nz := g.CellDims()
+	return nx * ny * nz
+}
+
+// NumNodes returns the total node count.
+func (g *Grid) NumNodes() int {
+	nx, ny, nz := g.NodeDims()
+	return nx * ny * nz
+}
+
+// CellID maps cell coordinates to a linear index (x fastest).
+func (g *Grid) CellID(i, j, k int) int {
+	nx, ny, nz := g.CellDims()
+	if i < 0 || i >= nx || j < 0 || j >= ny || k < 0 || k >= nz {
+		panic(fmt.Sprintf("mesh: cell (%d,%d,%d) out of range %d×%d×%d", i, j, k, nx, ny, nz))
+	}
+	return (k*ny+j)*nx + i
+}
+
+// CellCoords inverts CellID.
+func (g *Grid) CellCoords(id int) (i, j, k int) {
+	nx, ny, _ := g.CellDims()
+	i = id % nx
+	j = (id / nx) % ny
+	k = id / (nx * ny)
+	return i, j, k
+}
+
+// NodeID maps node coordinates to a linear index (x fastest).
+func (g *Grid) NodeID(i, j, k int) int {
+	nx, ny, nz := g.NodeDims()
+	if i < 0 || i >= nx || j < 0 || j >= ny || k < 0 || k >= nz {
+		panic(fmt.Sprintf("mesh: node (%d,%d,%d) out of range %d×%d×%d", i, j, k, nx, ny, nz))
+	}
+	return (k*ny+j)*nx + i
+}
+
+// NodeCoords inverts NodeID.
+func (g *Grid) NodeCoords(id int) (i, j, k int) {
+	nx, ny, _ := g.NodeDims()
+	i = id % nx
+	j = (id / nx) % ny
+	k = id / (nx * ny)
+	return i, j, k
+}
+
+// NodePos returns the physical coordinates of node (i,j,k).
+func (g *Grid) NodePos(i, j, k int) (x, y, z float64) {
+	return g.X[i], g.Y[j], g.Z[k]
+}
+
+// Material returns the material of cell (i,j,k).
+func (g *Grid) Material(i, j, k int) mat.ID {
+	return g.cellMat[g.CellID(i, j, k)]
+}
+
+// SetMaterial assigns the material of cell (i,j,k).
+func (g *Grid) SetMaterial(i, j, k int, id mat.ID) {
+	g.cellMat[g.CellID(i, j, k)] = id
+}
+
+// CellCenter returns the centroid of cell (i,j,k).
+func (g *Grid) CellCenter(i, j, k int) (x, y, z float64) {
+	return (g.X[i] + g.X[i+1]) / 2, (g.Y[j] + g.Y[j+1]) / 2, (g.Z[k] + g.Z[k+1]) / 2
+}
+
+// CellSize returns the edge lengths of cell (i,j,k).
+func (g *Grid) CellSize(i, j, k int) (dx, dy, dz float64) {
+	return g.X[i+1] - g.X[i], g.Y[j+1] - g.Y[j], g.Z[k+1] - g.Z[k]
+}
+
+// Box is an axis-aligned box used for material painting.
+type Box struct {
+	X0, X1, Y0, Y1, Z0, Z1 float64
+}
+
+// Contains reports whether point (x,y,z) lies inside the box.
+func (b Box) Contains(x, y, z float64) bool {
+	return x >= b.X0 && x <= b.X1 && y >= b.Y0 && y <= b.Y1 && z >= b.Z0 && z <= b.Z1
+}
+
+// Paint assigns material id to every cell whose center lies inside the box.
+// Later paints overwrite earlier ones, so structures are built back-to-front
+// (e.g. ILD slab first, then wires, then liner, then via fill).
+func (g *Grid) Paint(b Box, id mat.ID) {
+	nx, ny, nz := g.CellDims()
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				cx, cy, cz := g.CellCenter(i, j, k)
+				if b.Contains(cx, cy, cz) {
+					g.cellMat[g.CellID(i, j, k)] = id
+				}
+			}
+		}
+	}
+}
+
+// CountMaterial returns how many cells carry material id.
+func (g *Grid) CountMaterial(id mat.ID) int {
+	n := 0
+	for _, m := range g.cellMat {
+		if m == id {
+			n++
+		}
+	}
+	return n
+}
+
+// FindCell locates the cell containing point (x,y,z), or ok=false if the
+// point is outside the grid. Points on interior grid lines belong to the
+// higher cell; the domain maximum belongs to the last cell.
+func (g *Grid) FindCell(x, y, z float64) (i, j, k int, ok bool) {
+	i, ok = findInterval(g.X, x)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	j, ok = findInterval(g.Y, y)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	k, ok = findInterval(g.Z, z)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	return i, j, k, true
+}
+
+func findInterval(lines []float64, v float64) (int, bool) {
+	if v < lines[0] || v > lines[len(lines)-1] {
+		return 0, false
+	}
+	if v == lines[len(lines)-1] {
+		return len(lines) - 2, true
+	}
+	return sort.SearchFloat64s(lines, math.Nextafter(v, math.Inf(1))) - 1, true
+}
+
+// CellNodes returns the eight node IDs of cell (i,j,k) in the standard hex8
+// ordering: bottom face counter-clockwise (z=k), then top face (z=k+1).
+func (g *Grid) CellNodes(i, j, k int) [8]int {
+	return [8]int{
+		g.NodeID(i, j, k),
+		g.NodeID(i+1, j, k),
+		g.NodeID(i+1, j+1, k),
+		g.NodeID(i, j+1, k),
+		g.NodeID(i, j, k+1),
+		g.NodeID(i+1, j, k+1),
+		g.NodeID(i+1, j+1, k+1),
+		g.NodeID(i, j+1, k+1),
+	}
+}

@@ -1,0 +1,237 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"emvia/internal/mat"
+)
+
+func mustGrid(t *testing.T, x, y, z []float64) *Grid {
+	t.Helper()
+	g, err := New(x, y, z)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestLinesSnapsAndSubdivides(t *testing.T) {
+	got := Lines([]float64{0, 1, 0.5}, 0.3, 1e-12)
+	// Intervals [0,0.5] and [0.5,1] each need 2 subdivisions at step 0.3.
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Lines = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Lines[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLinesMergesCloseFeatures(t *testing.T) {
+	got := Lines([]float64{0, 1e-15, 1}, 0, 1e-12)
+	if len(got) != 2 {
+		t.Fatalf("Lines = %v, want 2 entries", got)
+	}
+}
+
+func TestLinesEmptyAndNoMaxStep(t *testing.T) {
+	if got := Lines(nil, 1, 1e-12); got != nil {
+		t.Errorf("Lines(nil) = %v", got)
+	}
+	got := Lines([]float64{2, 0, 1}, 0, 1e-12)
+	want := []float64{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Lines no-substep = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLinesPreservesFeatures(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		feats := make([]float64, n)
+		for i := range feats {
+			feats[i] = rng.Float64() * 10
+		}
+		step := 0.1 + rng.Float64()
+		lines := Lines(feats, step, 1e-9)
+		// Every feature must appear (within snap tolerance) and steps obey max.
+		for _, ft := range feats {
+			found := false
+			for _, l := range lines {
+				if math.Abs(l-ft) <= 1e-9+1e-12*math.Abs(ft) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		for i := 1; i < len(lines); i++ {
+			d := lines[i] - lines[i-1]
+			if d <= 0 || d > step*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]float64{0}, []float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("accepted single grid line")
+	}
+	if _, err := New([]float64{0, 0}, []float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("accepted non-ascending lines")
+	}
+}
+
+func TestIndexRoundTrips(t *testing.T) {
+	g := mustGrid(t, []float64{0, 1, 2, 3}, []float64{0, 1, 2}, []float64{0, 1})
+	nx, ny, nz := g.CellDims()
+	if nx != 3 || ny != 2 || nz != 1 {
+		t.Fatalf("CellDims = %d,%d,%d", nx, ny, nz)
+	}
+	seen := map[int]bool{}
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				id := g.CellID(i, j, k)
+				if seen[id] {
+					t.Fatalf("duplicate cell id %d", id)
+				}
+				seen[id] = true
+				ri, rj, rk := g.CellCoords(id)
+				if ri != i || rj != j || rk != k {
+					t.Fatalf("CellCoords(%d) = %d,%d,%d, want %d,%d,%d", id, ri, rj, rk, i, j, k)
+				}
+			}
+		}
+	}
+	if len(seen) != g.NumCells() {
+		t.Errorf("visited %d cells, want %d", len(seen), g.NumCells())
+	}
+	nnx, nny, nnz := g.NodeDims()
+	for k := 0; k < nnz; k++ {
+		for j := 0; j < nny; j++ {
+			for i := 0; i < nnx; i++ {
+				id := g.NodeID(i, j, k)
+				ri, rj, rk := g.NodeCoords(id)
+				if ri != i || rj != j || rk != k {
+					t.Fatalf("NodeCoords(%d) mismatch", id)
+				}
+			}
+		}
+	}
+}
+
+func TestPaintAndCount(t *testing.T) {
+	g := mustGrid(t, []float64{0, 1, 2}, []float64{0, 1, 2}, []float64{0, 1, 2})
+	g.Paint(Box{0, 2, 0, 2, 0, 2}, mat.SiCOH)
+	if got := g.CountMaterial(mat.SiCOH); got != 8 {
+		t.Errorf("painted all: count = %d, want 8", got)
+	}
+	g.Paint(Box{0, 1, 0, 1, 0, 1}, mat.Copper)
+	if got := g.CountMaterial(mat.Copper); got != 1 {
+		t.Errorf("copper count = %d, want 1", got)
+	}
+	if got := g.Material(0, 0, 0); got != mat.Copper {
+		t.Errorf("Material(0,0,0) = %v, want Cu", got)
+	}
+	if got := g.Material(1, 1, 1); got != mat.SiCOH {
+		t.Errorf("Material(1,1,1) = %v, want SiCOH", got)
+	}
+}
+
+func TestFindCell(t *testing.T) {
+	g := mustGrid(t, []float64{0, 1, 2}, []float64{0, 2}, []float64{0, 3})
+	cases := []struct {
+		x, y, z float64
+		i       int
+		ok      bool
+	}{
+		{0.5, 1, 1, 0, true},
+		{1.5, 1, 1, 1, true},
+		{1.0, 1, 1, 1, true}, // interior grid line → higher cell
+		{2.0, 1, 1, 1, true}, // domain max → last cell
+		{-0.1, 1, 1, 0, false},
+		{2.1, 1, 1, 0, false},
+	}
+	for _, c := range cases {
+		i, _, _, ok := g.FindCell(c.x, c.y, c.z)
+		if ok != c.ok || (ok && i != c.i) {
+			t.Errorf("FindCell(%g) = i=%d ok=%v, want i=%d ok=%v", c.x, i, ok, c.i, c.ok)
+		}
+	}
+}
+
+func TestFindCellPropertyConsistentWithCenter(t *testing.T) {
+	g := mustGrid(t, Lines([]float64{0, 3}, 0.5, 1e-12), Lines([]float64{0, 2}, 0.4, 1e-12), Lines([]float64{0, 1}, 0.3, 1e-12))
+	nx, ny, nz := g.CellDims()
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				cx, cy, cz := g.CellCenter(i, j, k)
+				ri, rj, rk, ok := g.FindCell(cx, cy, cz)
+				if !ok || ri != i || rj != j || rk != k {
+					t.Fatalf("FindCell(center of %d,%d,%d) = %d,%d,%d ok=%v", i, j, k, ri, rj, rk, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestCellNodesOrientation(t *testing.T) {
+	g := mustGrid(t, []float64{0, 1, 2}, []float64{0, 1, 2}, []float64{0, 1, 2})
+	n := g.CellNodes(0, 0, 0)
+	// Node 0 at origin, node 6 at opposite corner (1,1,1).
+	x, y, z := g.NodePos(g.NodeCoords(n[0]))
+	if x != 0 || y != 0 || z != 0 {
+		t.Errorf("node 0 at (%g,%g,%g), want origin", x, y, z)
+	}
+	x, y, z = g.NodePos(g.NodeCoords(n[6]))
+	if x != 1 || y != 1 || z != 1 {
+		t.Errorf("node 6 at (%g,%g,%g), want (1,1,1)", x, y, z)
+	}
+	// All eight distinct.
+	seen := map[int]bool{}
+	for _, id := range n {
+		if seen[id] {
+			t.Fatal("duplicate node in CellNodes")
+		}
+		seen[id] = true
+	}
+}
+
+func TestCellSizeAndCenter(t *testing.T) {
+	g := mustGrid(t, []float64{0, 0.5, 2}, []float64{0, 1}, []float64{0, 3})
+	dx, dy, dz := g.CellSize(1, 0, 0)
+	if dx != 1.5 || dy != 1 || dz != 3 {
+		t.Errorf("CellSize = %g,%g,%g", dx, dy, dz)
+	}
+	cx, cy, cz := g.CellCenter(1, 0, 0)
+	if cx != 1.25 || cy != 0.5 || cz != 1.5 {
+		t.Errorf("CellCenter = %g,%g,%g", cx, cy, cz)
+	}
+}
+
+func TestCellIDPanicsOutOfRange(t *testing.T) {
+	g := mustGrid(t, []float64{0, 1}, []float64{0, 1}, []float64{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CellID out of range did not panic")
+		}
+	}()
+	g.CellID(1, 0, 0)
+}

@@ -1,0 +1,58 @@
+package pdn
+
+import (
+	"fmt"
+	"sort"
+
+	"emvia/internal/mc"
+)
+
+// CriticalEntry ranks one via array by how often the Monte Carlo saw it
+// precipitate grid failure.
+type CriticalEntry struct {
+	// Via identifies the array.
+	Via ViaInfo
+	// FirstFailures counts trials in which this array failed first.
+	FirstFailures int
+	// Involvements counts trials in which it failed at all before the
+	// system criterion fired.
+	Involvements int
+}
+
+// CriticalityReport ranks the grid's via arrays from a Monte-Carlo result:
+// the designer-facing answer to "which arrays should be upsized first?"
+// (e.g. promoted from 4×4 to 8×8, the intervention Figure 9 justifies).
+// Arrays with zero involvement are omitted; ties break toward higher
+// involvement, then lower index for determinism.
+func CriticalityReport(g *Grid, res *mc.Result, topN int) ([]CriticalEntry, error) {
+	if g == nil || res == nil {
+		return nil, fmt.Errorf("pdn: CriticalityReport needs a grid and a result")
+	}
+	n := len(g.Vias)
+	first := res.FirstFailureCounts(n)
+	inv := res.FailureInvolvement(n)
+	var out []CriticalEntry
+	for k, v := range g.Vias {
+		if inv[k] == 0 {
+			continue
+		}
+		out = append(out, CriticalEntry{Via: v, FirstFailures: first[k], Involvements: inv[k]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.FirstFailures != b.FirstFailures {
+			return a.FirstFailures > b.FirstFailures
+		}
+		if a.Involvements != b.Involvements {
+			return a.Involvements > b.Involvements
+		}
+		if a.Via.IY != b.Via.IY {
+			return a.Via.IY < b.Via.IY
+		}
+		return a.Via.IX < b.Via.IX
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package pdn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"emvia/internal/cudd"
+	"emvia/internal/spice"
+)
+
+// MultiLayerSpec describes a power grid spanning several metal layers, the
+// "top 5 metal layers [which] use thick wires with via arrays" of the
+// paper's §3.2. Layers alternate routing direction (odd layers horizontal,
+// even vertical); via arrays join consecutive layers at every intersection
+// of their stripes. The paper's three layer-pair classes (intermediate–
+// intermediate, intermediate–top, top–top) map onto the stack: all layers
+// but the topmost are intermediate class.
+type MultiLayerSpec struct {
+	// Name labels the grid.
+	Name string
+	// Layers is the number of metal layers (≥ 2). Layer 1 is the lowest
+	// (load) layer; layer Layers is the top (pad) layer.
+	Layers int
+	// NX, NY are the stripe counts in the two routing directions.
+	NX, NY int
+	// Pitch is the stripe spacing, m.
+	Pitch float64
+	// WireWidth and WireThickness set the stripe cross-section, m. The
+	// topmost layer uses TopThicknessFactor × WireThickness (top metals
+	// are thicker).
+	WireWidth, WireThickness float64
+	// TopThicknessFactor thickens the top layer (default 2 when 0).
+	TopThicknessFactor float64
+	// RhoCu is the wire resistivity, Ω·m.
+	RhoCu float64
+	// Vdd is the supply voltage, V.
+	Vdd float64
+	// PadPeriod places pads every PadPeriod-th intersection on the top
+	// layer.
+	PadPeriod int
+	// TotalLoad is the summed load current, A, on layer 1.
+	TotalLoad float64
+	// ViaArrayR is the nominal via-array resistance, Ω, for every pair.
+	ViaArrayR float64
+	// Seed drives the load randomization.
+	Seed int64
+}
+
+// Validate checks the specification.
+func (s MultiLayerSpec) Validate() error {
+	if s.Layers < 2 {
+		return fmt.Errorf("pdn: multilayer grid needs ≥ 2 layers, got %d", s.Layers)
+	}
+	if s.NX < 2 || s.NY < 2 {
+		return fmt.Errorf("pdn: grid needs ≥ 2×2 stripes, got %d×%d", s.NX, s.NY)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"Pitch", s.Pitch}, {"WireWidth", s.WireWidth}, {"WireThickness", s.WireThickness},
+		{"RhoCu", s.RhoCu}, {"Vdd", s.Vdd}, {"TotalLoad", s.TotalLoad}, {"ViaArrayR", s.ViaArrayR},
+	} {
+		if c.v <= 0 || math.IsNaN(c.v) {
+			return fmt.Errorf("pdn: %s must be positive, got %g", c.name, c.v)
+		}
+	}
+	if s.PadPeriod < 1 {
+		return fmt.Errorf("pdn: PadPeriod must be ≥ 1, got %d", s.PadPeriod)
+	}
+	return nil
+}
+
+// MultiViaInfo extends ViaInfo with the layer pair the array joins, so each
+// array can use the matching chartable/TTF characterization.
+type MultiViaInfo struct {
+	ViaInfo
+	// Lower is the lower metal layer index (1-based); the array joins
+	// Lower and Lower+1.
+	Lower int
+	// LayerPair classifies the pair for characterization lookups.
+	LayerPair cudd.LayerPair
+}
+
+// MultiLayerGrid is a generated multi-layer power grid.
+type MultiLayerGrid struct {
+	Spec MultiLayerSpec
+	// Grid is the embedded single-pair view used by the TTF machinery
+	// (netlist + flattened via metadata); its GridSpec mirrors the lateral
+	// geometry so tuning and thermal analysis work unchanged.
+	Grid *Grid
+	// Vias carries the per-array layer-pair metadata, index-aligned with
+	// Grid.Vias.
+	Vias []MultiViaInfo
+}
+
+// GenerateMultiLayer synthesizes the netlist. Odd layers route along x
+// (segments between ix and ix+1 at constant iy), even layers along y; every
+// (ix, iy) intersection of consecutive layers gets a via array.
+func GenerateMultiLayer(spec MultiLayerSpec) (*MultiLayerGrid, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.TopThicknessFactor == 0 {
+		spec.TopThicknessFactor = 2
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	nl := &spice.Netlist{Title: spec.Name}
+	segR := func(layer int) float64 {
+		t := spec.WireThickness
+		if layer == spec.Layers {
+			t *= spec.TopThicknessFactor
+		}
+		return spec.RhoCu * spec.Pitch / (spec.WireWidth * t)
+	}
+	rid := 0
+	for layer := 1; layer <= spec.Layers; layer++ {
+		horizontal := layer%2 == 1
+		r := segR(layer)
+		if horizontal {
+			for iy := 0; iy < spec.NY; iy++ {
+				for ix := 0; ix < spec.NX-1; ix++ {
+					rid++
+					nl.Resistors = append(nl.Resistors, spice.Resistor{
+						Name: fmt.Sprintf("R%d", rid),
+						A:    nodeName(layer, ix, iy),
+						B:    nodeName(layer, ix+1, iy),
+						Ohms: r,
+					})
+				}
+			}
+		} else {
+			for ix := 0; ix < spec.NX; ix++ {
+				for iy := 0; iy < spec.NY-1; iy++ {
+					rid++
+					nl.Resistors = append(nl.Resistors, spice.Resistor{
+						Name: fmt.Sprintf("R%d", rid),
+						A:    nodeName(layer, ix, iy),
+						B:    nodeName(layer, ix, iy+1),
+						Ohms: r,
+					})
+				}
+			}
+		}
+	}
+
+	ml := &MultiLayerGrid{Spec: spec}
+	base := GridSpec{
+		Name:          spec.Name,
+		NX:            spec.NX,
+		NY:            spec.NY,
+		Pitch:         spec.Pitch,
+		WireWidth:     spec.WireWidth,
+		WireThickness: spec.WireThickness,
+		RhoCu:         spec.RhoCu,
+		Vdd:           spec.Vdd,
+		PadPeriod:     spec.PadPeriod,
+		TotalLoad:     spec.TotalLoad,
+		ViaArrayR:     spec.ViaArrayR,
+		Seed:          spec.Seed,
+	}
+	g := &Grid{Spec: base, Netlist: nl}
+	for layer := 1; layer < spec.Layers; layer++ {
+		pairClass := cudd.LayerPair{Lower: cudd.Intermediate, Upper: cudd.Intermediate}
+		if layer+1 == spec.Layers {
+			pairClass.Upper = cudd.Top
+		}
+		for iy := 0; iy < spec.NY; iy++ {
+			for ix := 0; ix < spec.NX; ix++ {
+				rid++
+				nl.Resistors = append(nl.Resistors, spice.Resistor{
+					Name: fmt.Sprintf("Rv%d_%d_%d", layer, ix, iy),
+					A:    nodeName(layer, ix, iy),
+					B:    nodeName(layer+1, ix, iy),
+					Ohms: spec.ViaArrayR,
+				})
+				info := ViaInfo{
+					IX:            ix,
+					IY:            iy,
+					Pattern:       PatternFor(ix, iy, spec.NX, spec.NY),
+					ResistorIndex: len(nl.Resistors) - 1,
+				}
+				g.Vias = append(g.Vias, info)
+				ml.Vias = append(ml.Vias, MultiViaInfo{
+					ViaInfo:   info,
+					Lower:     layer,
+					LayerPair: pairClass,
+				})
+			}
+		}
+	}
+	// Pads on the top layer.
+	start := spec.PadPeriod / 2
+	vid, padCount := 0, 0
+	for iy := start; iy < spec.NY; iy += spec.PadPeriod {
+		for ix := start; ix < spec.NX; ix += spec.PadPeriod {
+			vid++
+			nl.Voltages = append(nl.Voltages, spice.VoltageSource{
+				Name:  fmt.Sprintf("V%d", vid),
+				Node:  nodeName(spec.Layers, ix, iy),
+				Volts: spec.Vdd,
+			})
+			padCount++
+		}
+	}
+	if padCount == 0 {
+		return nil, fmt.Errorf("pdn: pad period %d leaves the grid padless", spec.PadPeriod)
+	}
+	// Loads on layer 1.
+	weights := make([]float64, spec.NX*spec.NY)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 0.5 + rng.Float64()
+		sum += weights[i]
+	}
+	iid := 0
+	for iy := 0; iy < spec.NY; iy++ {
+		for ix := 0; ix < spec.NX; ix++ {
+			iid++
+			nl.Currents = append(nl.Currents, spice.CurrentSource{
+				Name: fmt.Sprintf("I%d", iid),
+				A:    nodeName(1, ix, iy),
+				B:    "0",
+				Amps: spec.TotalLoad * weights[iid-1] / sum,
+			})
+		}
+	}
+	ml.Grid = g
+	return ml, nil
+}
+
+// PairCounts tallies via arrays per layer-pair class.
+func (ml *MultiLayerGrid) PairCounts() map[cudd.LayerPair]int {
+	out := map[cudd.LayerPair]int{}
+	for _, v := range ml.Vias {
+		out[v.LayerPair]++
+	}
+	return out
+}

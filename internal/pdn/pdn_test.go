@@ -1,0 +1,817 @@
+package pdn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"emvia/internal/cudd"
+	"emvia/internal/emdist"
+	"emvia/internal/phys"
+	"emvia/internal/stat"
+	"emvia/internal/thermal"
+	"emvia/internal/viaarray"
+)
+
+func smallSpec() GridSpec {
+	s := PG1Spec()
+	s.NX, s.NY = 8, 8
+	s.PadPeriod = 3
+	return s
+}
+
+func mustGrid(t *testing.T, spec GridSpec, targetIR float64) *Grid {
+	t.Helper()
+	g, err := Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if targetIR > 0 {
+		if err := g.CalibrateLoad(targetIR); err != nil {
+			t.Fatalf("CalibrateLoad: %v", err)
+		}
+	}
+	return g
+}
+
+// testModels builds synthetic per-pattern TTF models with medians in years
+// reflecting the pattern stress ordering (L best, Plus worst).
+func testModels(refCurrent float64) map[cudd.Pattern]viaarray.TTFModel {
+	mk := func(medYears, sigma float64) viaarray.TTFModel {
+		return viaarray.TTFModel{
+			Dist:       stat.LogNormal{Mu: math.Log(phys.YearsToSeconds(medYears)), Sigma: sigma},
+			RefCurrent: refCurrent,
+			FailK:      16,
+		}
+	}
+	return map[cudd.Pattern]viaarray.TTFModel{
+		cudd.Plus:   mk(6, 0.35),
+		cudd.TShape: mk(7, 0.35),
+		cudd.LShape: mk(8, 0.35),
+	}
+}
+
+func TestValidateSpec(t *testing.T) {
+	bad := smallSpec()
+	bad.NX = 1
+	if _, err := Generate(bad); err == nil {
+		t.Error("accepted 1-stripe grid")
+	}
+	bad = smallSpec()
+	bad.Vdd = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("accepted zero Vdd")
+	}
+	bad = smallSpec()
+	bad.PadPeriod = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("accepted zero pad period")
+	}
+	bad = smallSpec()
+	bad.PadPeriod = 100
+	if _, err := Generate(bad); err == nil {
+		t.Error("accepted padless grid")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	spec := smallSpec()
+	g := mustGrid(t, spec, 0)
+	nx, ny := spec.NX, spec.NY
+	wantWires := ny*(nx-1) + nx*(ny-1)
+	wantVias := nx * ny
+	if got := len(g.Netlist.Resistors); got != wantWires+wantVias {
+		t.Errorf("resistors = %d, want %d", got, wantWires+wantVias)
+	}
+	if got := len(g.Vias); got != wantVias {
+		t.Errorf("vias = %d, want %d", got, wantVias)
+	}
+	if got := len(g.Netlist.Currents); got != nx*ny {
+		t.Errorf("loads = %d, want %d", got, nx*ny)
+	}
+	if len(g.Netlist.Voltages) == 0 {
+		t.Error("no pads")
+	}
+	// Pattern census: 4 corners L, edge (non-corner) T, interior Plus.
+	counts := g.PatternCounts()
+	if counts[cudd.LShape] != 4 {
+		t.Errorf("L count = %d, want 4", counts[cudd.LShape])
+	}
+	wantT := 2*(nx-2) + 2*(ny-2)
+	if counts[cudd.TShape] != wantT {
+		t.Errorf("T count = %d, want %d", counts[cudd.TShape], wantT)
+	}
+	wantPlus := (nx - 2) * (ny - 2)
+	if counts[cudd.Plus] != wantPlus {
+		t.Errorf("Plus count = %d, want %d", counts[cudd.Plus], wantPlus)
+	}
+	// Via resistor indices point at inter-layer resistors.
+	for _, v := range g.Vias {
+		r := g.Netlist.Resistors[v.ResistorIndex]
+		if r.Ohms != spec.ViaArrayR {
+			t.Fatalf("via resistor %s has value %g", r.Name, r.Ohms)
+		}
+	}
+	// Total load preserved.
+	sum := 0.0
+	for _, c := range g.Netlist.Currents {
+		sum += c.Amps
+	}
+	if math.Abs(sum-spec.TotalLoad)/spec.TotalLoad > 1e-9 {
+		t.Errorf("total load = %g, want %g", sum, spec.TotalLoad)
+	}
+}
+
+func TestCalibrateLoad(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0)
+	if err := g.CalibrateLoad(0.05); err != nil {
+		t.Fatal(err)
+	}
+	frac, err := g.NominalIRDropFrac()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac-0.05) > 1e-6 {
+		t.Errorf("calibrated IR drop = %g, want 0.05", frac)
+	}
+	if err := g.CalibrateLoad(0); err == nil {
+		t.Error("accepted zero target")
+	}
+	if err := g.CalibrateLoad(1.5); err == nil {
+		t.Error("accepted target ≥ 1")
+	}
+}
+
+func TestNewSystemRejectsViolatedNominal(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0.2)
+	cfg := TTFConfig{
+		Grid:       g,
+		Models:     testModels(refCurrentOf(t, g)),
+		Criterion:  IRDrop,
+		IRDropFrac: 0.10,
+	}
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("accepted grid whose nominal IR drop exceeds the criterion")
+	}
+}
+
+// refCurrentOf estimates a representative via current for model scaling.
+func refCurrentOf(t *testing.T, g *Grid) float64 {
+	t.Helper()
+	sys, err := NewSystem(TTFConfig{
+		Grid:      g,
+		Models:    testModels(1), // placeholder scaling
+		Criterion: WeakestLink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0.0
+	for _, i := range sys.i0 {
+		if i > max {
+			max = i
+		}
+	}
+	if max == 0 {
+		t.Fatal("grid carries no via current")
+	}
+	return max
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0.05)
+	if err := (TTFConfig{}).Validate(); err == nil {
+		t.Error("accepted empty config")
+	}
+	cfg := TTFConfig{Grid: g, Models: map[cudd.Pattern]viaarray.TTFModel{}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted missing pattern models")
+	}
+	cfg = TTFConfig{Grid: g, Models: testModels(1), Criterion: IRDrop, IRDropFrac: 0}
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted zero IR threshold")
+	}
+}
+
+func TestWeakestLinkSingleEvent(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0.05)
+	cfg := TTFConfig{Grid: g, Models: testModels(refCurrentOf(t, g)), Criterion: WeakestLink}
+	res, err := AnalyzeTTF(cfg, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range res.Events {
+		if len(ev) != 1 {
+			t.Errorf("trial %d: %d events under weakest-link, want 1", i, len(ev))
+		}
+		if res.TTF[i] != ev[0] {
+			t.Errorf("trial %d: TTF %g != first event %g", i, res.TTF[i], ev[0])
+		}
+	}
+}
+
+func TestIRDropOutlivesWeakestLink(t *testing.T) {
+	// The paper's central system-level claim: the 10 % IR-drop criterion
+	// yields much longer TTFs than weakest-link because the mesh tolerates
+	// many failures.
+	g := mustGrid(t, smallSpec(), 0.05)
+	ref := refCurrentOf(t, g)
+	wl, err := AnalyzeTTF(TTFConfig{Grid: g, Models: testModels(ref), Criterion: WeakestLink}, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := AnalyzeTTF(TTFConfig{Grid: g, Models: testModels(ref), Criterion: IRDrop, IRDropFrac: 0.10}, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mWL := median(t, wl.FiniteTTF())
+	mIR := median(t, ir.FiniteTTF())
+	t.Logf("median TTF: weakest-link %.2f y, IR-drop %.2f y",
+		phys.SecondsToYears(mWL), phys.SecondsToYears(mIR))
+	if mIR <= mWL {
+		t.Errorf("IR-drop TTF %g not above weakest-link %g", mIR, mWL)
+	}
+	// IR-drop trials fail multiple arrays before the criterion fires.
+	totalEvents := 0
+	for _, ev := range ir.Events {
+		totalEvents += len(ev)
+	}
+	if avg := float64(totalEvents) / float64(len(ir.Events)); avg < 2 {
+		t.Errorf("IR-drop trials average %.1f failures, expected > 2 (mesh redundancy)", avg)
+	}
+}
+
+func median(t *testing.T, s []float64) float64 {
+	t.Helper()
+	e, err := stat.NewECDF(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Percentile(0.5)
+}
+
+func TestLongerLivedModelsExtendGridTTF(t *testing.T) {
+	// Doubling every array's median TTF must roughly double the grid TTF
+	// (sanity of the model plumbing).
+	g := mustGrid(t, smallSpec(), 0.05)
+	ref := refCurrentOf(t, g)
+	base := testModels(ref)
+	double := map[cudd.Pattern]viaarray.TTFModel{}
+	for k, m := range base {
+		m.Dist.Mu += math.Log(2)
+		double[k] = m
+	}
+	r1, err := AnalyzeTTF(TTFConfig{Grid: g, Models: base, Criterion: IRDrop, IRDropFrac: 0.10}, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := AnalyzeTTF(TTFConfig{Grid: g, Models: double, Criterion: IRDrop, IRDropFrac: 0.10}, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := median(t, r1.FiniteTTF()), median(t, r2.FiniteTTF())
+	if ratio := m2 / m1; ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("doubling model TTF scaled grid TTF by %.2f, want ≈ 2", ratio)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0.05)
+	ref := refCurrentOf(t, g)
+	cfg := TTFConfig{Grid: g, Models: testModels(ref), Criterion: IRDrop, IRDropFrac: 0.10}
+	a, err := AnalyzeTTF(cfg, 16, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeTTF(cfg, 16, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.TTF {
+		if a.TTF[i] != b.TTF[i] {
+			t.Fatalf("trial %d: %g != %g", i, a.TTF[i], b.TTF[i])
+		}
+	}
+}
+
+func TestImportRoundTrip(t *testing.T) {
+	spec := smallSpec()
+	g := mustGrid(t, spec, 0.05)
+	var buf bytes.Buffer
+	if err := g.Netlist.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDeck(&buf, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Vias) != len(g.Vias) {
+		t.Fatalf("imported %d vias, want %d", len(back.Vias), len(g.Vias))
+	}
+	// Pattern census must survive the round trip.
+	a, b := g.PatternCounts(), back.PatternCounts()
+	for pat, n := range a {
+		if b[pat] != n {
+			t.Errorf("pattern %v: imported %d, want %d", pat, b[pat], n)
+		}
+	}
+	// And the imported grid must solve to the same nominal IR drop.
+	f1, err := g.NominalIRDropFrac()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := back.NominalIRDropFrac()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f1-f2) > 1e-9 {
+		t.Errorf("IR drop changed across import: %g vs %g", f1, f2)
+	}
+}
+
+func TestImportRejectsViaFreeDecks(t *testing.T) {
+	nl := &(mustGrid(t, smallSpec(), 0)).Netlist
+	_ = nl
+	var buf bytes.Buffer
+	buf.WriteString("R1 a b 1\nV1 a 0 1.8\n")
+	if _, err := LoadDeck(&buf, smallSpec()); err == nil {
+		t.Error("accepted deck without via arrays")
+	}
+}
+
+func TestPatternForExhaustive(t *testing.T) {
+	if PatternFor(0, 0, 5, 5) != cudd.LShape {
+		t.Error("corner not L")
+	}
+	if PatternFor(4, 4, 5, 5) != cudd.LShape {
+		t.Error("far corner not L")
+	}
+	if PatternFor(2, 0, 5, 5) != cudd.TShape {
+		t.Error("edge not T")
+	}
+	if PatternFor(2, 2, 5, 5) != cudd.Plus {
+		t.Error("interior not Plus")
+	}
+}
+
+func TestPGSpecsGrowing(t *testing.T) {
+	s1, s2, s5 := PG1Spec(), PG2Spec(), PG5Spec()
+	if !(s1.NX*s1.NY < s2.NX*s2.NY && s2.NX*s2.NY < s5.NX*s5.NY) {
+		t.Error("benchmark sizes not increasing PG1 < PG2 < PG5")
+	}
+	for _, s := range []GridSpec{s1, s2, s5} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s spec invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestTuneHitsBothTargets(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0)
+	if err := g.Tune(0.05, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	imax, ir, err := g.MaxViaCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imax-0.01)/0.01 > 0.05 {
+		t.Errorf("busiest via current = %g, want ≈ 0.01", imax)
+	}
+	if math.Abs(ir-0.05)/0.05 > 0.05 {
+		t.Errorf("IR fraction = %g, want ≈ 0.05", ir)
+	}
+	// Re-tuning to different targets converges too.
+	if err := g.Tune(0.08, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	imax, ir, err = g.MaxViaCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imax-0.02)/0.02 > 0.05 || math.Abs(ir-0.08)/0.08 > 0.05 {
+		t.Errorf("re-tune: imax=%g ir=%g", imax, ir)
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0)
+	if err := g.Tune(0, 0.01); err == nil {
+		t.Error("accepted zero IR target")
+	}
+	if err := g.Tune(1.5, 0.01); err == nil {
+		t.Error("accepted IR target ≥ 1")
+	}
+	if err := g.Tune(0.05, 0); err == nil {
+		t.Error("accepted zero current target")
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if WeakestLink.String() != "Weakest-link" {
+		t.Errorf("WeakestLink = %q", WeakestLink)
+	}
+	if IRDrop.String() != "IR-drop" {
+		t.Errorf("IRDrop = %q", IRDrop)
+	}
+	if s := Criterion(99).String(); s == "" {
+		t.Error("unknown criterion empty string")
+	}
+}
+
+func TestSystemStateAccessors(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0.05)
+	sys, err := NewSystem(TTFConfig{
+		Grid:       g,
+		Models:     testModels(refCurrentOf(t, g)),
+		Criterion:  IRDrop,
+		IRDropFrac: 0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randNew(7)
+	if err := sys.BeginTrial(rng); err != nil {
+		t.Fatal(err)
+	}
+	if sys.FailedCount() != 0 {
+		t.Errorf("fresh trial FailedCount = %d", sys.FailedCount())
+	}
+	if frac := sys.WorstIRDropFrac(); math.Abs(frac-0.05) > 0.005 {
+		t.Errorf("initial IR frac = %g, want ≈ 0.05", frac)
+	}
+	if err := sys.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if sys.FailedCount() != 1 {
+		t.Errorf("FailedCount after one failure = %d", sys.FailedCount())
+	}
+	if err := sys.Fail(0); err == nil {
+		t.Error("double failure accepted")
+	}
+	// A second BeginTrial restores the pristine state.
+	if err := sys.BeginTrial(rng); err != nil {
+		t.Fatal(err)
+	}
+	if sys.FailedCount() != 0 {
+		t.Error("BeginTrial did not reset failures")
+	}
+	if frac := sys.WorstIRDropFrac(); math.Abs(frac-0.05) > 0.005 {
+		t.Errorf("restored IR frac = %g", frac)
+	}
+}
+
+func TestAnalyzeTTFValidation(t *testing.T) {
+	if _, err := AnalyzeTTF(TTFConfig{}, 10, 1); err == nil {
+		t.Error("accepted empty config")
+	}
+}
+
+func TestNominalIRDropFracRejectsBrokenNetlist(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0)
+	// Conflicting pads make compilation fail.
+	g.Netlist.Voltages = append(g.Netlist.Voltages, g.Netlist.Voltages[0])
+	g.Netlist.Voltages[len(g.Netlist.Voltages)-1].Volts = 99
+	if _, err := g.NominalIRDropFrac(); err == nil {
+		t.Error("accepted conflicting pads")
+	}
+}
+
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestWireBlechScreen(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0)
+	if err := g.Tune(0.065, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	em := emdistDefault()
+	rep, err := g.WireBlechScreen(em, 115e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSegs := len(g.Netlist.Resistors) - len(g.Vias)
+	if rep.Segments != wantSegs {
+		t.Errorf("segments = %d, want %d", rep.Segments, wantSegs)
+	}
+	if rep.WorstJL <= 0 || rep.Threshold <= 0 {
+		t.Errorf("degenerate report: %+v", rep)
+	}
+	if f := rep.ImmortalFraction(); f < 0 || f > 1 {
+		t.Errorf("immortal fraction = %g", f)
+	}
+	t.Logf("Blech screen: %d/%d mortal segments, worst jL %.3g of threshold %.3g",
+		rep.Mortal, rep.Segments, rep.WorstJL, rep.Threshold)
+	// A vanishing critical stress makes every loaded segment mortal.
+	strict, err := g.WireBlechScreen(em, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Mortal == 0 {
+		t.Error("near-zero critical stress flagged nothing")
+	}
+	if _, err := g.WireBlechScreen(em, 0); err == nil {
+		t.Error("accepted zero critical stress")
+	}
+}
+
+func emdistDefault() emdist.Params { return emdist.Default() }
+
+func TestPowerMapAttribution(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0)
+	if err := g.Tune(0.065, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	power, err := g.PowerMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(power) != g.Spec.NX*g.Spec.NY {
+		t.Fatalf("power map length %d", len(power))
+	}
+	total := 0.0
+	for i, p := range power {
+		if p < 0 {
+			t.Fatalf("negative power at node %d", i)
+		}
+		total += p
+	}
+	// The grid dissipates roughly Vdd × total load (all load current flows
+	// from the pads); Joule + load split must land in that ballpark.
+	want := g.Spec.Vdd * g.Spec.TotalLoad
+	if total < 0.5*want || total > 1.5*want {
+		t.Errorf("total power %g W, expected near %g W", total, want)
+	}
+}
+
+func TestThermalProfileHotterUnderLoad(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0)
+	if err := g.Tune(0.065, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	tm, temps, err := g.ThermalProfile(thermal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(temps) != len(g.Vias) {
+		t.Fatalf("temps length %d", len(temps))
+	}
+	for k, tc := range temps {
+		if tc <= 44 || tc > 250 {
+			t.Errorf("array %d at %g °C implausible", k, tc)
+		}
+	}
+	if tm.MaxTemp() <= tm.MeanTemp() {
+		t.Error("max not above mean for a nonuniform power map")
+	}
+	// Mismatched lattice is rejected.
+	bad := thermal.DefaultConfig(3, 3, g.Spec.Pitch)
+	if _, _, err := g.ThermalProfile(bad); err == nil {
+		t.Error("accepted mismatched thermal lattice")
+	}
+}
+
+func TestTTFScaleDeratesGrid(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0.05)
+	ref := refCurrentOf(t, g)
+	base := TTFConfig{Grid: g, Models: testModels(ref), Criterion: IRDrop, IRDropFrac: 0.10}
+	r1, err := AnalyzeTTF(base, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := base
+	scaled.TTFScale = make([]float64, len(g.Vias))
+	for i := range scaled.TTFScale {
+		scaled.TTFScale[i] = 0.5
+	}
+	r2, err := AnalyzeTTF(scaled, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := median(t, r1.FiniteTTF()), median(t, r2.FiniteTTF())
+	if ratio := m2 / m1; math.Abs(ratio-0.5) > 0.05 {
+		t.Errorf("uniform 0.5 derating scaled grid TTF by %g", ratio)
+	}
+	// Invalid scales rejected.
+	bad := base
+	bad.TTFScale = []float64{1}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted wrong-length TTFScale")
+	}
+	bad.TTFScale = make([]float64, len(g.Vias))
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero TTFScale entries")
+	}
+}
+
+func TestGenerateMultiLayerStructure(t *testing.T) {
+	spec := MultiLayerSpec{
+		Name: "ML", Layers: 4, NX: 6, NY: 6,
+		Pitch: 100e-6, WireWidth: 2e-6, WireThickness: 0.45e-6,
+		RhoCu: 2.75e-8, Vdd: 1.8, PadPeriod: 3, TotalLoad: 0.1,
+		ViaArrayR: 0.05, Seed: 2,
+	}
+	ml, err := GenerateMultiLayer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Via arrays: (Layers−1) × NX×NY.
+	wantVias := 3 * 36
+	if len(ml.Vias) != wantVias || len(ml.Grid.Vias) != wantVias {
+		t.Fatalf("vias = %d/%d, want %d", len(ml.Vias), len(ml.Grid.Vias), wantVias)
+	}
+	// Layer pairs: two intermediate–intermediate pairs + one
+	// intermediate–top pair (layers 3→4).
+	counts := ml.PairCounts()
+	ii := cudd.LayerPair{Lower: cudd.Intermediate, Upper: cudd.Intermediate}
+	it := cudd.LayerPair{Lower: cudd.Intermediate, Upper: cudd.Top}
+	if counts[ii] != 2*36 || counts[it] != 36 {
+		t.Errorf("pair counts = %v", counts)
+	}
+	// The grid solves and tunes like a single-pair grid.
+	if err := ml.Grid.Tune(0.065, 0.01); err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	imax, ir, err := ml.Grid.MaxViaCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imax-0.01)/0.01 > 0.05 || math.Abs(ir-0.065)/0.065 > 0.05 {
+		t.Errorf("tuned imax=%g ir=%g", imax, ir)
+	}
+	// Validation.
+	bad := spec
+	bad.Layers = 1
+	if _, err := GenerateMultiLayer(bad); err == nil {
+		t.Error("accepted single layer")
+	}
+	bad = spec
+	bad.PadPeriod = 100
+	if _, err := GenerateMultiLayer(bad); err == nil {
+		t.Error("accepted padless grid")
+	}
+}
+
+func TestPerViaModelsOverride(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0.05)
+	ref := refCurrentOf(t, g)
+	base := testModels(ref)
+	perVia := make([]viaarray.TTFModel, len(g.Vias))
+	for i, v := range g.Vias {
+		perVia[i] = base[v.Pattern]
+	}
+	cfgMap := TTFConfig{Grid: g, Models: base, Criterion: IRDrop, IRDropFrac: 0.10}
+	cfgVia := TTFConfig{Grid: g, PerViaModels: perVia, Criterion: IRDrop, IRDropFrac: 0.10}
+	r1, err := AnalyzeTTF(cfgMap, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := AnalyzeTTF(cfgVia, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.TTF {
+		if r1.TTF[i] != r2.TTF[i] {
+			t.Fatalf("trial %d differs: %g vs %g", i, r1.TTF[i], r2.TTF[i])
+		}
+	}
+	// Validation of the override.
+	bad := cfgVia
+	bad.PerViaModels = perVia[:3]
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted wrong-length PerViaModels")
+	}
+	bad.PerViaModels = make([]viaarray.TTFModel, len(g.Vias))
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero-current models")
+	}
+}
+
+func TestCriticalityReport(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0.05)
+	ref := refCurrentOf(t, g)
+	res, err := AnalyzeTTF(TTFConfig{Grid: g, Models: testModels(ref), Criterion: IRDrop, IRDropFrac: 0.10}, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CriticalityReport(g, res, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep) == 0 || len(rep) > 10 {
+		t.Fatalf("report size = %d", len(rep))
+	}
+	totalFirst := 0
+	for i, e := range rep {
+		if e.Involvements < e.FirstFailures {
+			t.Errorf("entry %d: involvement %d < first %d", i, e.Involvements, e.FirstFailures)
+		}
+		if i > 0 && rep[i-1].FirstFailures < e.FirstFailures {
+			t.Error("report not sorted by first failures")
+		}
+		totalFirst += e.FirstFailures
+	}
+	// Every trial has a first failure; with topN=10 the listed entries may
+	// not cover all 60, but a meaningful fraction should concentrate there.
+	if totalFirst == 0 {
+		t.Error("no first failures recorded in the top entries")
+	}
+	if _, err := CriticalityReport(nil, res, 5); err == nil {
+		t.Error("accepted nil grid")
+	}
+}
+
+func TestWriteIRDropSVG(t *testing.T) {
+	g := mustGrid(t, smallSpec(), 0.05)
+	var buf bytes.Buffer
+	if err := g.WriteIRDropSVG(&buf, 320); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.Contains(out, "worst IR drop") {
+		t.Error("missing annotation")
+	}
+	// Pads marked.
+	if !strings.Contains(out, "<circle") {
+		t.Error("missing pad markers")
+	}
+	// Cell count: one rect per intersection.
+	if n := strings.Count(out, "<rect"); n != g.Spec.NX*g.Spec.NY {
+		t.Errorf("rect count %d, want %d", n, g.Spec.NX*g.Spec.NY)
+	}
+}
+
+func TestGoldenDeckLoadsAndSolves(t *testing.T) {
+	f, err := os.Open("testdata/pg_mini.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec := PG1Spec()
+	g, err := LoadDeck(f, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Vias) != 64 {
+		t.Fatalf("golden deck vias = %d, want 64", len(g.Vias))
+	}
+	imax, ir, err := g.MaxViaCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deck was generated tuned to 6.5 % IR / 10 mA busiest array; the
+	// solve must reproduce that within write/parse rounding.
+	if math.Abs(ir-0.065) > 1e-3 {
+		t.Errorf("golden deck IR = %g, want 0.065", ir)
+	}
+	if math.Abs(imax-0.01) > 1e-4 {
+		t.Errorf("golden deck busiest array = %g, want 0.01", imax)
+	}
+	counts := g.PatternCounts()
+	if counts[cudd.LShape] != 4 || counts[cudd.TShape] != 24 || counts[cudd.Plus] != 36 {
+		t.Errorf("golden deck pattern census = %v", counts)
+	}
+}
+
+func TestMultiLayerThermalProfile(t *testing.T) {
+	spec := MultiLayerSpec{
+		Name: "MLT", Layers: 3, NX: 6, NY: 6,
+		Pitch: 100e-6, WireWidth: 2e-6, WireThickness: 0.45e-6,
+		RhoCu: 2.75e-8, Vdd: 1.8, PadPeriod: 3, TotalLoad: 0.1,
+		ViaArrayR: 0.05, Seed: 6,
+	}
+	ml, err := GenerateMultiLayer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.Grid.Tune(0.065, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	tm, temps, err := ml.Grid.ThermalProfile(thermal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(temps) != len(ml.Grid.Vias) {
+		t.Fatalf("temps = %d, want %d", len(temps), len(ml.Grid.Vias))
+	}
+	if tm.MaxTemp() < 90 {
+		t.Errorf("max temp %g below ambient", tm.MaxTemp())
+	}
+	// Stacked arrays at the same (x,y) share the lattice temperature.
+	byXY := map[[2]int]float64{}
+	for k, v := range ml.Grid.Vias {
+		key := [2]int{v.IX, v.IY}
+		if prev, ok := byXY[key]; ok {
+			if prev != temps[k] {
+				t.Fatalf("stacked arrays at %v see different temps: %g vs %g", key, prev, temps[k])
+			}
+		} else {
+			byXY[key] = temps[k]
+		}
+	}
+}

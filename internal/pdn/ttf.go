@@ -1,0 +1,261 @@
+package pdn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"emvia/internal/cudd"
+	"emvia/internal/mc"
+	"emvia/internal/spice"
+	"emvia/internal/viaarray"
+)
+
+// Criterion is the power-grid (system-level) failure criterion of §5.2.
+type Criterion int
+
+// System failure criteria.
+const (
+	// WeakestLink declares the grid dead at the first via-array failure —
+	// the traditional, pessimistic criterion the paper argues against.
+	WeakestLink Criterion = iota
+	// IRDrop declares the grid dead when the worst IR drop exceeds a
+	// fraction of Vdd (paper: 10 %), crediting mesh redundancy.
+	IRDrop
+)
+
+// String names the criterion as in the paper's tables.
+func (c Criterion) String() string {
+	switch c {
+	case WeakestLink:
+		return "Weakest-link"
+	case IRDrop:
+		return "IR-drop"
+	}
+	return fmt.Sprintf("pdn.Criterion(%d)", int(c))
+}
+
+// TTFConfig describes a grid TTF analysis.
+type TTFConfig struct {
+	// Grid is the power grid under analysis.
+	Grid *Grid
+	// Models maps each intersection pattern to its characterized via-array
+	// TTF model (paper §5.1 output). All three patterns present in the
+	// grid must be covered.
+	Models map[cudd.Pattern]viaarray.TTFModel
+	// Criterion selects the system failure criterion.
+	Criterion Criterion
+	// IRDropFrac is the IR-drop threshold as a fraction of Vdd (paper:
+	// 0.10); required when Criterion == IRDrop.
+	IRDropFrac float64
+	// TTFScale optionally multiplies each array's sampled TTF (g.Vias
+	// order): the hook for local-temperature derating (Arrhenius + stress
+	// relaxation) computed by the thermal analysis. Nil means uniform 1.
+	TTFScale []float64
+	// PerViaModels optionally overrides Models with one TTF model per via
+	// array (g.Vias order) — the hook for multi-layer grids where each
+	// array's model depends on its layer pair as well as its pattern.
+	PerViaModels []viaarray.TTFModel
+}
+
+// Validate checks the configuration against the grid.
+func (c TTFConfig) Validate() error {
+	if c.Grid == nil {
+		return fmt.Errorf("pdn: TTFConfig needs a grid")
+	}
+	if c.PerViaModels != nil {
+		if len(c.PerViaModels) != len(c.Grid.Vias) {
+			return fmt.Errorf("pdn: PerViaModels has %d entries, want %d", len(c.PerViaModels), len(c.Grid.Vias))
+		}
+		for k, m := range c.PerViaModels {
+			if m.RefCurrent <= 0 {
+				return fmt.Errorf("pdn: PerViaModels[%d] has non-positive reference current", k)
+			}
+		}
+	} else {
+		for pat := range c.Grid.PatternCounts() {
+			if _, ok := c.Models[pat]; !ok {
+				return fmt.Errorf("pdn: no TTF model for %v via arrays", pat)
+			}
+		}
+	}
+	if c.Criterion == IRDrop && (c.IRDropFrac <= 0 || c.IRDropFrac >= 1) {
+		return fmt.Errorf("pdn: IRDropFrac must be in (0,1), got %g", c.IRDropFrac)
+	}
+	if c.TTFScale != nil {
+		if len(c.TTFScale) != len(c.Grid.Vias) {
+			return fmt.Errorf("pdn: TTFScale has %d entries, want %d", len(c.TTFScale), len(c.Grid.Vias))
+		}
+		for k, s := range c.TTFScale {
+			if s <= 0 || math.IsNaN(s) {
+				return fmt.Errorf("pdn: TTFScale[%d] = %g invalid", k, s)
+			}
+		}
+	}
+	return nil
+}
+
+// GridSystem is the mc.System of the second hierarchy level: components are
+// via arrays, failure opens them, and the criterion is grid IR integrity.
+type GridSystem struct {
+	cfg     TTFConfig
+	circuit *spice.Circuit
+
+	i0  []float64 // pristine per-array current magnitudes
+	op0 *spice.OP // pristine operating point
+
+	alive       []bool
+	baseTTF     []float64
+	iNow        []float64
+	opNow       *spice.OP
+	failedCount int
+}
+
+// NewSystem compiles the grid and solves the pristine operating point. It
+// rejects grids whose nominal IR drop already violates the criterion.
+func NewSystem(cfg TTFConfig) (*GridSystem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	circuit, err := spice.Compile(cfg.Grid.Netlist)
+	if err != nil {
+		return nil, fmt.Errorf("pdn: compiling grid: %w", err)
+	}
+	op, err := circuit.SolveDC(nil)
+	if err != nil {
+		return nil, fmt.Errorf("pdn: pristine solve: %w", err)
+	}
+	if cfg.Criterion == IRDrop {
+		if frac := op.WorstIRDropFrac(cfg.Grid.Spec.Vdd); frac >= cfg.IRDropFrac {
+			return nil, fmt.Errorf("pdn: nominal IR drop %.1f%% already violates the %.1f%% criterion; calibrate the load first",
+				frac*100, cfg.IRDropFrac*100)
+		}
+	}
+	s := &GridSystem{cfg: cfg, circuit: circuit, op0: op}
+	s.i0 = make([]float64, len(cfg.Grid.Vias))
+	for k, v := range cfg.Grid.Vias {
+		s.i0[k] = math.Abs(op.ResistorCurrent(v.ResistorIndex))
+	}
+	return s, nil
+}
+
+// NumComponents returns the via-array count.
+func (s *GridSystem) NumComponents() int { return len(s.cfg.Grid.Vias) }
+
+// BeginTrial restores the pristine grid and samples array TTFs at their
+// nominal currents.
+func (s *GridSystem) BeginTrial(rng *rand.Rand) error {
+	n := s.NumComponents()
+	if s.alive == nil {
+		s.alive = make([]bool, n)
+		s.baseTTF = make([]float64, n)
+		s.iNow = make([]float64, n)
+	}
+	// Restore any vias opened by the previous trial.
+	for k, v := range s.cfg.Grid.Vias {
+		if s.alive[k] {
+			continue
+		}
+		if s.circuit.ResistorDisabled(v.ResistorIndex) {
+			if err := s.circuit.SetResistor(v.ResistorIndex, s.cfg.Grid.Netlist.Resistors[v.ResistorIndex].Ohms); err != nil {
+				return err
+			}
+		}
+	}
+	for k := range s.alive {
+		s.alive[k] = true
+	}
+	s.failedCount = 0
+	copy(s.iNow, s.i0)
+	s.opNow = s.op0
+	for k, v := range s.cfg.Grid.Vias {
+		var model viaarray.TTFModel
+		if s.cfg.PerViaModels != nil {
+			model = s.cfg.PerViaModels[k]
+		} else {
+			model = s.cfg.Models[v.Pattern]
+		}
+		s.baseTTF[k] = model.Sample(rng, s.i0[k])
+		if s.cfg.TTFScale != nil {
+			s.baseTTF[k] *= s.cfg.TTFScale[k]
+		}
+	}
+	return nil
+}
+
+// BaseTTF returns array k's sampled TTF.
+func (s *GridSystem) BaseTTF(k int) float64 { return s.baseTTF[k] }
+
+// AgingRate returns (I_now/I_0)² for array k.
+func (s *GridSystem) AgingRate(k int) float64 {
+	if !s.alive[k] || s.i0[k] <= 0 {
+		return 0
+	}
+	r := s.iNow[k] / s.i0[k]
+	return r * r
+}
+
+// Fail opens via array k and redistributes the grid currents. Under the
+// weakest-link criterion the re-solve is skipped: the trial is already over.
+func (s *GridSystem) Fail(k int) error {
+	if !s.alive[k] {
+		return fmt.Errorf("pdn: via array %d already failed", k)
+	}
+	s.alive[k] = false
+	s.failedCount++
+	if err := s.circuit.DisableResistor(s.cfg.Grid.Vias[k].ResistorIndex); err != nil {
+		return err
+	}
+	if s.cfg.Criterion == WeakestLink {
+		return nil
+	}
+	op, err := s.circuit.SolveDC(s.opNow)
+	if err != nil {
+		return fmt.Errorf("pdn: re-solve after failing array %d: %w", k, err)
+	}
+	s.opNow = op
+	for i, v := range s.cfg.Grid.Vias {
+		if s.alive[i] {
+			s.iNow[i] = math.Abs(op.ResistorCurrent(v.ResistorIndex))
+		} else {
+			s.iNow[i] = 0
+		}
+	}
+	return nil
+}
+
+// Failed evaluates the system criterion.
+func (s *GridSystem) Failed() (bool, error) {
+	switch s.cfg.Criterion {
+	case WeakestLink:
+		return s.failedCount >= 1, nil
+	case IRDrop:
+		if s.opNow == nil {
+			return false, nil
+		}
+		return s.opNow.WorstIRDropFrac(s.cfg.Grid.Spec.Vdd) >= s.cfg.IRDropFrac, nil
+	}
+	return false, fmt.Errorf("pdn: unknown criterion %d", int(s.cfg.Criterion))
+}
+
+// FailedCount returns the number of failed arrays in the current trial.
+func (s *GridSystem) FailedCount() int { return s.failedCount }
+
+// WorstIRDropFrac exposes the current worst IR drop (for tests/diagnostics).
+func (s *GridSystem) WorstIRDropFrac() float64 {
+	if s.opNow == nil {
+		return 0
+	}
+	return s.opNow.WorstIRDropFrac(s.cfg.Grid.Spec.Vdd)
+}
+
+// AnalyzeTTF runs the grid-level Monte Carlo (Algorithm 1, step 2) with
+// trials independent across workers.
+func AnalyzeTTF(cfg TTFConfig, trials int, seed int64) (*mc.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return mc.RunParallel(func() (mc.System, error) {
+		return NewSystem(cfg)
+	}, mc.Options{Trials: trials, Seed: seed})
+}

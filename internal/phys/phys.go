@@ -1,0 +1,52 @@
+// Package phys collects the physical constants and unit helpers used
+// throughout the electromigration (EM) and thermomechanical models.
+//
+// All quantities are SI unless a suffix says otherwise. Stress is in Pa,
+// temperature in Kelvin, current density in A/m², diffusivity in m²/s.
+package phys
+
+import "math"
+
+// Fundamental constants (CODATA values, SI units).
+const (
+	// Boltzmann is the Boltzmann constant kB in J/K.
+	Boltzmann = 1.380649e-23
+	// ElectronCharge is the elementary charge e in C.
+	ElementaryCharge = 1.602176634e-19
+	// ElectronVolt is one eV expressed in joules.
+	ElectronVolt = 1.602176634e-19
+)
+
+// Convenient unit multipliers.
+const (
+	// Micron is 1 µm in metres.
+	Micron = 1e-6
+	// Nanometre is 1 nm in metres.
+	Nanometre = 1e-9
+	// MPa is 1 megapascal in pascals.
+	MPa = 1e6
+	// GPa is 1 gigapascal in pascals.
+	GPa = 1e9
+	// PPM is one part per million (used for CTE in ppm/°C).
+	PPM = 1e-6
+	// Year is one Julian year in seconds, the natural unit for TTF.
+	Year = 365.25 * 24 * 3600
+)
+
+// CelsiusToKelvin converts a temperature in °C to Kelvin.
+func CelsiusToKelvin(c float64) float64 { return c + 273.15 }
+
+// KelvinToCelsius converts a temperature in Kelvin to °C.
+func KelvinToCelsius(k float64) float64 { return k - 273.15 }
+
+// SecondsToYears converts a duration in seconds to Julian years.
+func SecondsToYears(s float64) float64 { return s / Year }
+
+// YearsToSeconds converts a duration in Julian years to seconds.
+func YearsToSeconds(y float64) float64 { return y * Year }
+
+// Arrhenius evaluates A·exp(−Ea/kB·T) with Ea in joules and T in Kelvin.
+// It is the standard thermally activated rate law used for EM diffusivity.
+func Arrhenius(prefactor, eaJoules, tempK float64) float64 {
+	return prefactor * math.Exp(-eaJoules/(Boltzmann*tempK))
+}

@@ -1,0 +1,64 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTemperatureConversions(t *testing.T) {
+	if got := CelsiusToKelvin(105); math.Abs(got-378.15) > 1e-12 {
+		t.Errorf("105 °C = %g K", got)
+	}
+	if got := KelvinToCelsius(273.15); got != 0 {
+		t.Errorf("273.15 K = %g °C", got)
+	}
+	f := func(c float64) bool {
+		return math.Abs(KelvinToCelsius(CelsiusToKelvin(c))-c) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYearConversions(t *testing.T) {
+	if got := YearsToSeconds(1); math.Abs(got-365.25*86400) > 1e-6 {
+		t.Errorf("1 year = %g s", got)
+	}
+	if got := SecondsToYears(Year); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Year seconds = %g years", got)
+	}
+}
+
+func TestArrhenius(t *testing.T) {
+	// At infinite temperature the exponential saturates to the prefactor.
+	if got := Arrhenius(2.5, 1e-19, 1e12); math.Abs(got-2.5)/2.5 > 1e-6 {
+		t.Errorf("high-T limit = %g", got)
+	}
+	// Zero activation energy is temperature-independent.
+	if Arrhenius(1, 0, 300) != 1 || Arrhenius(1, 0, 400) != 1 {
+		t.Error("zero-Ea Arrhenius not constant")
+	}
+	// Monotone increasing in T for positive Ea.
+	if !(Arrhenius(1, 1e-19, 400) > Arrhenius(1, 1e-19, 300)) {
+		t.Error("Arrhenius not increasing with T")
+	}
+	// 0.85 eV at 378 K: the EM model's operating point, ≈ e^-26.1.
+	ea := 0.85 * ElectronVolt
+	want := math.Exp(-ea / (Boltzmann * 378.15))
+	if got := Arrhenius(1, ea, 378.15); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Arrhenius = %g, want %g", got, want)
+	}
+}
+
+func TestUnitConstants(t *testing.T) {
+	if Micron != 1e-6 || Nanometre != 1e-9 || MPa != 1e6 || GPa != 1e9 || PPM != 1e-6 {
+		t.Error("unit multipliers wrong")
+	}
+	if math.Abs(Boltzmann-1.380649e-23) > 1e-30 {
+		t.Error("Boltzmann constant wrong")
+	}
+	if ElementaryCharge != ElectronVolt {
+		t.Error("e and eV numerically differ (both SI)")
+	}
+}

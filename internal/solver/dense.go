@@ -1,0 +1,65 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// DenseCholesky is a dense LLᵀ factorization of a small SPD matrix, used for
+// via-array resistance networks (tens of nodes) and as a reference solver in
+// tests.
+type DenseCholesky struct {
+	n int
+	l []float64 // lower-triangular factor, row-major n×n
+}
+
+// NewDenseCholesky factors the SPD matrix a, given in row-major order with
+// dimension n. It returns ErrNotSPD when a pivot is non-positive.
+func NewDenseCholesky(a []float64, n int) (*DenseCholesky, error) {
+	if len(a) != n*n {
+		return nil, fmt.Errorf("solver: dense matrix has %d entries, want %d", len(a), n*n)
+	}
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, fmt.Errorf("%w: pivot %g at row %d", ErrNotSPD, sum, i)
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	return &DenseCholesky{n: n, l: l}, nil
+}
+
+// Solve returns x with A·x = b.
+func (c *DenseCholesky) Solve(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("solver: rhs length %d does not match dimension %d", len(b), c.n)
+	}
+	n, l := c.n, c.l
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*n+k] * y[k]
+		}
+		y[i] = sum / l[i*n+i]
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*n+i] * x[k]
+		}
+		x[i] = sum / l[i*n+i]
+	}
+	return x, nil
+}

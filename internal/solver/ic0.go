@@ -1,0 +1,126 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"emvia/internal/sparse"
+)
+
+// IC0 is a zero-fill incomplete-Cholesky preconditioner: A ≈ L·Lᵀ where L
+// keeps exactly the sparsity pattern of the lower triangle of A. For the
+// M-matrix-like conductance systems of power grids, IC(0) exists and cuts CG
+// iteration counts by a large factor; for FEM elasticity it usually exists
+// too, and NewIC0 falls back with ErrNotSPD when a pivot breaks down so the
+// caller can degrade to Jacobi.
+type IC0 struct {
+	n    int
+	ptr  []int
+	cols []int
+	vals []float64 // L stored row-wise, diagonal last in each row
+	diag []int     // index of the diagonal entry of each row within vals
+}
+
+// NewIC0 computes the zero-fill incomplete Cholesky factor of SPD matrix a.
+func NewIC0(a *sparse.CSR) (*IC0, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("solver: IC0 needs a square matrix, got %d×%d", n, c)
+	}
+	low := a.LowerTriangle()
+	ptr := make([]int, n+1)
+	var colsAll []int
+	var valsAll []float64
+	diag := make([]int, n)
+
+	// Copy the lower triangle; record diagonal positions.
+	for i := 0; i < n; i++ {
+		cols, vals := low.Row(i)
+		if len(cols) == 0 || cols[len(cols)-1] != i {
+			return nil, fmt.Errorf("%w: row %d has no diagonal entry", ErrNotSPD, i)
+		}
+		ptr[i] = len(colsAll)
+		colsAll = append(colsAll, cols...)
+		valsAll = append(valsAll, vals...)
+		diag[i] = len(colsAll) - 1
+	}
+	ptr[n] = len(colsAll)
+
+	// firstInCol[j] tracks, for each column j, a linked scan position used to
+	// iterate rows that have an entry in column j below the current pivot.
+	// We use the simple O(nnz·rowlen) up-looking variant: for each row i and
+	// each pair (j,k) of its off-diagonal columns, subtract L(i,j)·L(k,j)
+	// contributions. Rows here are short (FEM ≤ ~81, grids ≤ ~7), so the
+	// quadratic-in-rowlen cost is fine.
+	for i := 0; i < n; i++ {
+		rowCols := colsAll[ptr[i] : ptr[i+1]-1] // off-diagonal columns of row i
+		rowVals := valsAll[ptr[i] : ptr[i+1]-1]
+		// Update row i using previously factored rows j (j < i, entry L(i,j)).
+		for a1 := 0; a1 < len(rowCols); a1++ {
+			j := rowCols[a1]
+			// L(i,j) = (A(i,j) − Σ_{k<j} L(i,k)·L(j,k)) / L(j,j)
+			sum := rowVals[a1]
+			jCols := colsAll[ptr[j] : ptr[j+1]-1]
+			jVals := valsAll[ptr[j] : ptr[j+1]-1]
+			// Merge-intersect the column lists of rows i and j (both sorted).
+			bi, bj := 0, 0
+			for bi < a1 && bj < len(jCols) {
+				switch {
+				case rowCols[bi] < jCols[bj]:
+					bi++
+				case rowCols[bi] > jCols[bj]:
+					bj++
+				default:
+					sum -= rowVals[bi] * jVals[bj]
+					bi++
+					bj++
+				}
+			}
+			ljj := valsAll[diag[j]]
+			rowVals[a1] = sum / ljj
+		}
+		// Diagonal: L(i,i) = sqrt(A(i,i) − Σ_k L(i,k)²).
+		d := valsAll[diag[i]]
+		for _, v := range rowVals {
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: IC0 pivot %g at row %d", ErrNotSPD, d, i)
+		}
+		valsAll[diag[i]] = math.Sqrt(d)
+	}
+
+	return &IC0{n: n, ptr: ptr, cols: colsAll, vals: valsAll, diag: diag}, nil
+}
+
+// Apply overwrites z with (L·Lᵀ)⁻¹·r by forward and backward substitution.
+func (ic *IC0) Apply(z, r []float64) {
+	// Forward solve L·y = r.
+	for i := 0; i < ic.n; i++ {
+		sum := r[i]
+		for k := ic.ptr[i]; k < ic.diag[i]; k++ {
+			sum -= ic.vals[k] * z[ic.cols[k]]
+		}
+		z[i] = sum / ic.vals[ic.diag[i]]
+	}
+	// Backward solve Lᵀ·z = y, processing columns right to left.
+	for i := ic.n - 1; i >= 0; i-- {
+		zi := z[i] / ic.vals[ic.diag[i]]
+		z[i] = zi
+		for k := ic.ptr[i]; k < ic.diag[i]; k++ {
+			z[ic.cols[k]] -= ic.vals[k] * zi
+		}
+	}
+}
+
+// NewAutoPreconditioner builds the strongest preconditioner that succeeds on
+// a: IC(0) if its factorization exists, otherwise Jacobi, otherwise identity.
+func NewAutoPreconditioner(a *sparse.CSR) Preconditioner {
+	if ic, err := NewIC0(a); err == nil {
+		return ic
+	}
+	if j, err := NewJacobi(a); err == nil {
+		return j
+	}
+	return Identity{}
+}

@@ -1,0 +1,330 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"emvia/internal/solver"
+	"emvia/internal/sparse"
+)
+
+// Circuit is a compiled netlist ready for repeated DC solves with mutable
+// resistor values — the operation the EM failure simulation performs after
+// every via-array failure.
+type Circuit struct {
+	names []string
+	index map[string]int
+
+	fixed   []float64 // pad voltage per node; NaN when the node is free
+	freeIdx []int     // equation index per node, -1 for pads
+	nFree   int
+
+	res []cResistor
+	cur []cCurrent
+
+	gmin float64
+
+	// Preconditioner cache: EM failure simulation re-solves the grid after
+	// every single-element change, where the pristine-grid IC(0) factor
+	// remains an excellent (and still SPD, hence valid) preconditioner.
+	// The cache is rebuilt adaptively when convergence degrades.
+	precond      solver.Preconditioner
+	precondIters int // iteration count right after the cache was (re)built
+}
+
+type cResistor struct {
+	name     string
+	a, b     int // node indices, -1 = ground
+	cond     float64
+	disabled bool
+}
+
+type cCurrent struct {
+	a, b int
+	amps float64
+}
+
+// Compile flattens a netlist into solver-ready form. Every voltage source
+// pins its node; a node pinned twice with different voltages is an error.
+func Compile(nl *Netlist) (*Circuit, error) {
+	names := nl.Nodes()
+	c := &Circuit{
+		names: names,
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		c.index[n] = i
+	}
+	c.fixed = make([]float64, len(names))
+	for i := range c.fixed {
+		c.fixed[i] = math.NaN()
+	}
+	for _, v := range nl.Voltages {
+		i, ok := c.index[v.Node]
+		if !ok {
+			return nil, fmt.Errorf("spice: voltage source %s on unknown node %s", v.Name, v.Node)
+		}
+		if !math.IsNaN(c.fixed[i]) && c.fixed[i] != v.Volts {
+			return nil, fmt.Errorf("spice: node %s pinned to both %g and %g volts", v.Node, c.fixed[i], v.Volts)
+		}
+		c.fixed[i] = v.Volts
+	}
+	c.freeIdx = make([]int, len(names))
+	for i := range names {
+		if math.IsNaN(c.fixed[i]) {
+			c.freeIdx[i] = c.nFree
+			c.nFree++
+		} else {
+			c.freeIdx[i] = -1
+		}
+	}
+	nodeOf := func(n string) int {
+		if IsGround(n) {
+			return -1
+		}
+		return c.index[n]
+	}
+	maxCond := 0.0
+	for _, r := range nl.Resistors {
+		g := 1 / r.Ohms
+		if g > maxCond {
+			maxCond = g
+		}
+		c.res = append(c.res, cResistor{name: r.Name, a: nodeOf(r.A), b: nodeOf(r.B), cond: g})
+	}
+	for _, s := range nl.Currents {
+		c.cur = append(c.cur, cCurrent{a: nodeOf(s.A), b: nodeOf(s.B), amps: s.Amps})
+	}
+	if maxCond == 0 {
+		maxCond = 1
+	}
+	// A vanishing leak to ground keeps the system nonsingular when failures
+	// island part of the grid; islanded nodes then drift to 0 V, which
+	// correctly registers as a catastrophic IR-drop violation.
+	c.gmin = 1e-12 * maxCond
+	return c, nil
+}
+
+// NumNodes returns the number of non-ground nodes.
+func (c *Circuit) NumNodes() int { return len(c.names) }
+
+// NumResistors returns the resistor count (compile order = netlist order).
+func (c *Circuit) NumResistors() int { return len(c.res) }
+
+// NodeIndex returns the index of a named node.
+func (c *Circuit) NodeIndex(name string) (int, bool) {
+	i, ok := c.index[name]
+	return i, ok
+}
+
+// NodeName returns the name of node i.
+func (c *Circuit) NodeName(i int) string { return c.names[i] }
+
+// IsPad reports whether node i is pinned by a voltage source.
+func (c *Circuit) IsPad(i int) bool { return c.freeIdx[i] < 0 }
+
+// SetResistor replaces the value of resistor i (netlist order), re-enabling
+// it if it was disabled.
+func (c *Circuit) SetResistor(i int, ohms float64) error {
+	if i < 0 || i >= len(c.res) {
+		return fmt.Errorf("spice: resistor index %d out of range", i)
+	}
+	if ohms <= 0 {
+		return fmt.Errorf("spice: resistor %s set to non-positive %g Ω", c.res[i].name, ohms)
+	}
+	c.res[i].cond = 1 / ohms
+	c.res[i].disabled = false
+	return nil
+}
+
+// DisableResistor removes resistor i from the network (an open-circuit EM
+// failure).
+func (c *Circuit) DisableResistor(i int) error {
+	if i < 0 || i >= len(c.res) {
+		return fmt.Errorf("spice: resistor index %d out of range", i)
+	}
+	c.res[i].disabled = true
+	return nil
+}
+
+// ResistorDisabled reports whether resistor i is currently open.
+func (c *Circuit) ResistorDisabled(i int) bool { return c.res[i].disabled }
+
+// OP is a DC operating point.
+type OP struct {
+	c     *Circuit
+	volts []float64 // per node (pads hold their pinned values)
+	stats solver.Stats
+}
+
+// SolveDC computes the operating point. prev, when non-nil, warm-starts the
+// iterative solve from an earlier operating point of the same circuit —
+// after a single failure the solution moves little, so this typically cuts
+// iterations substantially.
+func (c *Circuit) SolveDC(prev *OP) (*OP, error) {
+	n := c.nFree
+	if n == 0 {
+		// Everything pinned: trivial.
+		volts := make([]float64, len(c.names))
+		copy(volts, c.fixed)
+		return &OP{c: c, volts: volts}, nil
+	}
+	tr := sparse.NewTriplet(n, n, len(c.res)*4+n)
+	rhs := make([]float64, n)
+
+	for i := 0; i < len(c.names); i++ {
+		if fi := c.freeIdx[i]; fi >= 0 {
+			tr.Add(fi, fi, c.gmin)
+		}
+	}
+	for _, r := range c.res {
+		if r.disabled {
+			continue
+		}
+		c.stampConductance(tr, rhs, r.a, r.b, r.cond)
+	}
+	for _, s := range c.cur {
+		// Current flows a→b through the source: out of node a, into node b.
+		if s.a >= 0 {
+			if fi := c.freeIdx[s.a]; fi >= 0 {
+				rhs[fi] -= s.amps
+			}
+		}
+		if s.b >= 0 {
+			if fi := c.freeIdx[s.b]; fi >= 0 {
+				rhs[fi] += s.amps
+			}
+		}
+	}
+
+	a := tr.ToCSR()
+	var x0 []float64
+	if prev != nil && prev.c == c {
+		x0 = make([]float64, n)
+		for i := 0; i < len(c.names); i++ {
+			if fi := c.freeIdx[i]; fi >= 0 {
+				x0[fi] = prev.volts[i]
+			}
+		}
+	}
+	if c.precond == nil {
+		c.precond = solver.NewAutoPreconditioner(a)
+		c.precondIters = -1
+	}
+	x, st, err := solver.CG(a, rhs, solver.Options{
+		Tol: 1e-7,
+		M:   c.precond,
+		X0:  x0,
+	})
+	if err != nil {
+		// The cached preconditioner may be stale after many topology
+		// changes; rebuild once and retry before giving up.
+		c.precond = solver.NewAutoPreconditioner(a)
+		c.precondIters = -1
+		x, st, err = solver.CG(a, rhs, solver.Options{Tol: 1e-7, M: c.precond, X0: x0})
+		if err != nil {
+			return nil, fmt.Errorf("spice: DC solve: %w", err)
+		}
+	}
+	if c.precondIters < 0 {
+		c.precondIters = st.Iterations
+	} else if st.Iterations > 8*(c.precondIters+4) {
+		// Convergence has degraded well past the fresh-factor baseline:
+		// drop the cache so the next solve refactors.
+		c.precond = nil
+	}
+	volts := make([]float64, len(c.names))
+	for i := range c.names {
+		if fi := c.freeIdx[i]; fi >= 0 {
+			volts[i] = x[fi]
+		} else {
+			volts[i] = c.fixed[i]
+		}
+	}
+	return &OP{c: c, volts: volts, stats: st}, nil
+}
+
+// stampConductance stamps a conductance between nodes a and b (-1 = ground)
+// into the free-node system, moving pad terms to the RHS.
+func (c *Circuit) stampConductance(tr *sparse.Triplet, rhs []float64, a, b int, g float64) {
+	var fa, fb = -1, -1
+	var va, vb float64
+	if a >= 0 {
+		fa = c.freeIdx[a]
+		va = c.fixed[a]
+	}
+	if b >= 0 {
+		fb = c.freeIdx[b]
+		vb = c.fixed[b]
+	}
+	if fa >= 0 {
+		tr.Add(fa, fa, g)
+		switch {
+		case fb >= 0:
+			tr.Add(fa, fb, -g)
+		case b >= 0: // pad
+			rhs[fa] += g * vb
+		} // ground contributes nothing to rhs
+	}
+	if fb >= 0 {
+		tr.Add(fb, fb, g)
+		switch {
+		case fa >= 0:
+			tr.Add(fb, fa, -g)
+		case a >= 0: // pad
+			rhs[fb] += g * va
+		}
+	}
+}
+
+// Voltage returns the voltage of a named node.
+func (op *OP) Voltage(name string) (float64, error) {
+	i, ok := op.c.index[name]
+	if !ok {
+		return 0, fmt.Errorf("spice: unknown node %q", name)
+	}
+	return op.volts[i], nil
+}
+
+// VoltageAt returns the voltage of node i.
+func (op *OP) VoltageAt(i int) float64 { return op.volts[i] }
+
+// Stats reports the iterative-solver statistics of the solve.
+func (op *OP) Stats() solver.Stats { return op.stats }
+
+// ResistorCurrent returns the current (A) through resistor i, positive from
+// terminal A to terminal B; zero when disabled.
+func (op *OP) ResistorCurrent(i int) float64 {
+	r := op.c.res[i]
+	if r.disabled {
+		return 0
+	}
+	var va, vb float64
+	if r.a >= 0 {
+		va = op.volts[r.a]
+	}
+	if r.b >= 0 {
+		vb = op.volts[r.b]
+	}
+	return (va - vb) * r.cond
+}
+
+// MinVoltage returns the lowest node voltage and its node index, the
+// worst-case IR-drop point of a Vdd grid.
+func (op *OP) MinVoltage() (volts float64, node int) {
+	volts = math.Inf(1)
+	node = -1
+	for i, v := range op.volts {
+		if v < volts {
+			volts = v
+			node = i
+		}
+	}
+	return volts, node
+}
+
+// WorstIRDropFrac returns the worst IR drop as a fraction of vdd.
+func (op *OP) WorstIRDropFrac(vdd float64) float64 {
+	v, _ := op.MinVoltage()
+	return (vdd - v) / vdd
+}

@@ -1,0 +1,51 @@
+package stat_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"emvia/internal/stat"
+)
+
+// The paper's flaw-radius distribution: lognormal with mean 10 nm and a
+// standard deviation of 5 % of the mean, which makes the critical stress
+// σ_C = 2γs/R_f lognormal as well.
+func ExampleLogNormalFromMoments() {
+	rf, err := stat.LogNormalFromMoments(10e-9, 0.5e-9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mean %.3g m, median %.3g m, sigma_ln %.4f\n", rf.Mean(), rf.Median(), rf.Sigma)
+	// Output:
+	// mean 1e-08 m, median 9.99e-09 m, sigma_ln 0.0500
+}
+
+// Fitting a lognormal to Monte-Carlo TTF samples is the paper's §5.1
+// handoff from via-array characterization to grid analysis.
+func ExampleFitLogNormal() {
+	rng := rand.New(rand.NewSource(1))
+	truth := stat.LogNormal{Mu: 19.0, Sigma: 0.25} // ≈ 5.6-year median TTF
+	samples := make([]float64, 50000)
+	for i := range samples {
+		samples[i] = truth.Sample(rng)
+	}
+	fit, err := stat.FitLogNormal(samples)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mu %.1f sigma %.2f\n", fit.Mu, fit.Sigma)
+	// Output:
+	// mu 19.0 sigma 0.25
+}
+
+// The worst-case TTF the paper reports is the 0.3-percentile point of the
+// empirical CDF.
+func ExampleECDF_Percentile() {
+	e, err := stat.NewECDF([]float64{4, 1, 3, 2, 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("median %.1f, max %.1f\n", e.Percentile(0.5), e.Percentile(1))
+	// Output:
+	// median 3.0, max 5.0
+}

@@ -1,0 +1,157 @@
+// Package textplot renders the experiment harness's figures as ASCII plots:
+// XY line charts for stress profiles and CDF curves for TTF distributions.
+// It keeps cmd/paperfigs dependency-free while making the regenerated
+// figures directly comparable, by shape, to the paper's plots.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is an ASCII XY chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 72)
+	Height int // plot area rows (default 20)
+
+	series []Series
+}
+
+// Add appends a curve; X and Y must have equal nonzero length.
+func (p *Plot) Add(s Series) error {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return fmt.Errorf("textplot: series %q has mismatched lengths %d/%d", s.Name, len(s.X), len(s.Y))
+	}
+	p.series = append(p.series, s)
+	return nil
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render writes the chart.
+func (p *Plot) Render(w io.Writer) error {
+	if len(p.series) == 0 {
+		return fmt.Errorf("textplot: nothing to plot")
+	}
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !finite(minX) || !finite(minY) {
+		return fmt.Errorf("textplot: no finite data")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			c := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			r := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - r
+			if row >= 0 && row < height && c >= 0 && c < width {
+				grid[row][c] = m
+			}
+		}
+	}
+
+	if p.Title != "" {
+		fmt.Fprintf(w, "%s\n", p.Title)
+	}
+	yTop := fmt.Sprintf("%.4g", maxY)
+	yBot := fmt.Sprintf("%.4g", minY)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yTop, labelW)
+		case height - 1:
+			label = pad(yBot, labelW)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s+\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	xLeft := fmt.Sprintf("%.4g", minX)
+	xRight := fmt.Sprintf("%.4g", maxX)
+	gap := width - len(xLeft) - len(xRight)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLeft, strings.Repeat(" ", gap), xRight)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(w, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), p.XLabel, p.YLabel)
+	}
+	for si, s := range p.series {
+		fmt.Fprintf(w, "%s   %c %s\n", strings.Repeat(" ", labelW), markers[si%len(markers)], s.Name)
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// CDFSeries turns TTF samples (seconds) into a CDF curve in the given x
+// units (e.g. phys.Year for years on the x axis).
+func CDFSeries(name string, samples []float64, xUnit float64) Series {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i, v := range s {
+		x[i] = v / xUnit
+		y[i] = float64(i+1) / float64(n)
+	}
+	return Series{Name: name, X: x, Y: y}
+}

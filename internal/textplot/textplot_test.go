@@ -1,0 +1,85 @@
+package textplot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	p := &Plot{Title: "t", XLabel: "x", YLabel: "y", Width: 20, Height: 5}
+	if err := p.Add(Series{Name: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"t\n", "line", "*", "x: x", "y: y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	p := &Plot{}
+	if err := p.Render(&bytes.Buffer{}); err == nil {
+		t.Error("rendered empty plot")
+	}
+	if err := p.Add(Series{Name: "bad", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("accepted mismatched series")
+	}
+	p2 := &Plot{}
+	if err := p2.Add(Series{Name: "nan", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Render(&bytes.Buffer{}); err == nil {
+		t.Error("rendered all-NaN data")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	p := &Plot{Width: 10, Height: 3}
+	if err := p.Add(Series{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Render(&bytes.Buffer{}); err != nil {
+		t.Errorf("constant series: %v", err)
+	}
+}
+
+func TestMultipleSeriesDistinctMarkers(t *testing.T) {
+	p := &Plot{Width: 30, Height: 8}
+	_ = p.Add(Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}})
+	_ = p.Add(Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	s := CDFSeries("cdf", []float64{3, 1, 2}, 1)
+	if len(s.X) != 3 {
+		t.Fatalf("len = %d", len(s.X))
+	}
+	wantX := []float64{1, 2, 3}
+	wantY := []float64{1.0 / 3, 2.0 / 3, 1}
+	for i := range wantX {
+		if s.X[i] != wantX[i] || math.Abs(s.Y[i]-wantY[i]) > 1e-12 {
+			t.Errorf("point %d = (%g, %g), want (%g, %g)", i, s.X[i], s.Y[i], wantX[i], wantY[i])
+		}
+	}
+	// Unit scaling.
+	s2 := CDFSeries("cdf", []float64{10}, 5)
+	if s2.X[0] != 2 {
+		t.Errorf("scaled X = %g, want 2", s2.X[0])
+	}
+}

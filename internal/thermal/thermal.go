@@ -1,0 +1,172 @@
+// Package thermal computes steady-state die temperature maps for power
+// grids: Joule self-heating of the wires and via arrays plus switching
+// power of the loads, spread laterally through the die and sunk vertically
+// through the substrate/package. The EM nucleation model is strongly
+// temperature-dependent (D_eff is Arrhenius, σ_T is linear in T − T_sf), so
+// per-via-array temperatures refine the paper's uniform worst-case 105 °C
+// assumption into a local one.
+//
+// The model is a standard compact thermal RC network on the grid's
+// intersection lattice: node (i, j) couples to its four neighbours with a
+// lateral spreading conductance and to the heatsink with a vertical
+// conductance; the SPD system G·ΔT = P is solved on the shared sparse/CG
+// stack.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"emvia/internal/solver"
+	"emvia/internal/sparse"
+)
+
+// Config parameterizes the compact thermal network.
+type Config struct {
+	// NX, NY are the lattice dimensions (one node per grid intersection).
+	NX, NY int
+	// Pitch is the lattice spacing, m.
+	Pitch float64
+	// AmbientC is the heatsink/ambient reference temperature, °C.
+	AmbientC float64
+	// KSi is the effective lateral thermal conductivity of the die,
+	// W/(m·K); silicon ≈ 120 at hot-chip temperatures.
+	KSi float64
+	// DieThickness is the thermally active silicon thickness, m.
+	DieThickness float64
+	// HeatsinkConductancePerArea is the vertical conductance to ambient
+	// per die area, W/(K·m²); package-dependent, ~1e4–1e6.
+	HeatsinkConductancePerArea float64
+}
+
+// DefaultConfig returns a worst-case-analysis package environment: 90 °C
+// at the sink (hot die, consistent with the EM model's 100–105 °C
+// characterization band), 300 µm die, moderate heatsinking.
+func DefaultConfig(nx, ny int, pitch float64) Config {
+	return Config{
+		NX:                         nx,
+		NY:                         ny,
+		Pitch:                      pitch,
+		AmbientC:                   90,
+		KSi:                        120,
+		DieThickness:               300e-6,
+		HeatsinkConductancePerArea: 2e5,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NX < 1 || c.NY < 1 {
+		return fmt.Errorf("thermal: lattice %d×%d invalid", c.NX, c.NY)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Pitch", c.Pitch}, {"KSi", c.KSi}, {"DieThickness", c.DieThickness},
+		{"HeatsinkConductancePerArea", c.HeatsinkConductancePerArea},
+	} {
+		if f.v <= 0 || math.IsNaN(f.v) {
+			return fmt.Errorf("thermal: %s must be positive, got %g", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// lateralConductance returns the node-to-node spreading conductance:
+// k·A/L with A = pitch × die thickness and L = pitch, i.e. k·t.
+func (c Config) lateralConductance() float64 {
+	return c.KSi * c.DieThickness
+}
+
+// sinkConductance returns the per-node vertical conductance to ambient.
+func (c Config) sinkConductance() float64 {
+	return c.HeatsinkConductancePerArea * c.Pitch * c.Pitch
+}
+
+// Map is a solved temperature field on the lattice.
+type Map struct {
+	cfg Config
+	// riseK[j*NX+i] is the temperature rise over ambient at node (i,j), K.
+	riseK []float64
+}
+
+// Solve computes the temperature map for per-node power dissipation
+// power[j*NX+i] in watts.
+func Solve(cfg Config, power []float64) (*Map, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.NX * cfg.NY
+	if len(power) != n {
+		return nil, fmt.Errorf("thermal: power vector has %d entries, want %d", len(power), n)
+	}
+	for i, p := range power {
+		if p < 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("thermal: negative or NaN power %g at node %d", p, i)
+		}
+	}
+	gl := cfg.lateralConductance()
+	gs := cfg.sinkConductance()
+	tr := sparse.NewTriplet(n, n, 5*n)
+	idx := func(i, j int) int { return j*cfg.NX + i }
+	for j := 0; j < cfg.NY; j++ {
+		for i := 0; i < cfg.NX; i++ {
+			k := idx(i, j)
+			tr.Add(k, k, gs)
+			if i+1 < cfg.NX {
+				k2 := idx(i+1, j)
+				tr.Add(k, k, gl)
+				tr.Add(k2, k2, gl)
+				tr.Add(k, k2, -gl)
+				tr.Add(k2, k, -gl)
+			}
+			if j+1 < cfg.NY {
+				k2 := idx(i, j+1)
+				tr.Add(k, k, gl)
+				tr.Add(k2, k2, gl)
+				tr.Add(k, k2, -gl)
+				tr.Add(k2, k, -gl)
+			}
+		}
+	}
+	a := tr.ToCSR()
+	rise, _, err := solver.CG(a, power, solver.Options{
+		Tol: 1e-10,
+		M:   solver.NewAutoPreconditioner(a),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("thermal: solve: %w", err)
+	}
+	return &Map{cfg: cfg, riseK: rise}, nil
+}
+
+// RiseAt returns the temperature rise over ambient at node (i, j), K.
+func (m *Map) RiseAt(i, j int) float64 {
+	return m.riseK[j*m.cfg.NX+i]
+}
+
+// TempAt returns the absolute temperature at node (i, j), °C.
+func (m *Map) TempAt(i, j int) float64 {
+	return m.cfg.AmbientC + m.RiseAt(i, j)
+}
+
+// MaxTemp returns the hottest node temperature, °C.
+func (m *Map) MaxTemp() float64 {
+	max := math.Inf(-1)
+	for _, r := range m.riseK {
+		if r > max {
+			max = r
+		}
+	}
+	return m.cfg.AmbientC + max
+}
+
+// MeanTemp returns the area-average temperature, °C.
+func (m *Map) MeanTemp() float64 {
+	s := 0.0
+	for _, r := range m.riseK {
+		s += r
+	}
+	return m.cfg.AmbientC + s/float64(len(m.riseK))
+}

@@ -1,0 +1,137 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := DefaultConfig(4, 4, 100e-6)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.NX = 0 },
+		func(c *Config) { c.Pitch = 0 },
+		func(c *Config) { c.KSi = -1 },
+		func(c *Config) { c.DieThickness = 0 },
+		func(c *Config) { c.HeatsinkConductancePerArea = math.NaN() },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig(4, 4, 100e-6)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	cfg := DefaultConfig(3, 3, 100e-6)
+	if _, err := Solve(cfg, make([]float64, 4)); err == nil {
+		t.Error("accepted wrong power length")
+	}
+	p := make([]float64, 9)
+	p[0] = -1
+	if _, err := Solve(cfg, p); err == nil {
+		t.Error("accepted negative power")
+	}
+}
+
+func TestZeroPowerIsAmbient(t *testing.T) {
+	cfg := DefaultConfig(5, 5, 100e-6)
+	m, err := Solve(cfg, make([]float64, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 5; j++ {
+		for i := 0; i < 5; i++ {
+			if math.Abs(m.TempAt(i, j)-cfg.AmbientC) > 1e-9 {
+				t.Fatalf("unpowered node (%d,%d) at %g °C", i, j, m.TempAt(i, j))
+			}
+		}
+	}
+}
+
+func TestUniformPowerEnergyBalance(t *testing.T) {
+	// With uniform power, no lateral flow: every node sits at P/Gsink above
+	// ambient.
+	cfg := DefaultConfig(6, 6, 100e-6)
+	p := make([]float64, 36)
+	const w = 0.02 // 20 mW per node
+	for i := range p {
+		p[i] = w
+	}
+	m, err := Solve(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w / (cfg.HeatsinkConductancePerArea * cfg.Pitch * cfg.Pitch)
+	for j := 0; j < 6; j++ {
+		for i := 0; i < 6; i++ {
+			if math.Abs(m.RiseAt(i, j)-want)/want > 1e-6 {
+				t.Fatalf("uniform rise at (%d,%d) = %g, want %g", i, j, m.RiseAt(i, j), want)
+			}
+		}
+	}
+	if math.Abs(m.MeanTemp()-m.MaxTemp()) > 1e-6 {
+		t.Error("uniform field has mean ≠ max")
+	}
+}
+
+func TestHotspotDecaysWithDistance(t *testing.T) {
+	cfg := DefaultConfig(9, 9, 100e-6)
+	p := make([]float64, 81)
+	p[4*9+4] = 0.5 // 0.5 W at the centre
+	m, err := Solve(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centre := m.RiseAt(4, 4)
+	if centre <= 0 {
+		t.Fatalf("centre rise %g", centre)
+	}
+	prev := centre
+	for d := 1; d <= 4; d++ {
+		r := m.RiseAt(4+d, 4)
+		if r >= prev {
+			t.Errorf("rise not decaying at distance %d: %g ≥ %g", d, r, prev)
+		}
+		if r <= 0 {
+			t.Errorf("rise negative at distance %d: %g", d, r)
+		}
+		prev = r
+	}
+	if got := m.MaxTemp(); math.Abs(got-(cfg.AmbientC+centre)) > 1e-9 {
+		t.Errorf("MaxTemp = %g, want ambient+centre", got)
+	}
+	// Total heat balance: Σ Gsink·ΔT = Σ P.
+	gs := cfg.HeatsinkConductancePerArea * cfg.Pitch * cfg.Pitch
+	sunk := 0.0
+	for j := 0; j < 9; j++ {
+		for i := 0; i < 9; i++ {
+			sunk += gs * m.RiseAt(i, j)
+		}
+	}
+	if math.Abs(sunk-0.5)/0.5 > 1e-6 {
+		t.Errorf("energy balance: sunk %g W, injected 0.5 W", sunk)
+	}
+}
+
+func TestSymmetryOfCentredHotspot(t *testing.T) {
+	cfg := DefaultConfig(7, 7, 100e-6)
+	p := make([]float64, 49)
+	p[3*7+3] = 0.1
+	m, err := Solve(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= 3; d++ {
+		r := []float64{m.RiseAt(3+d, 3), m.RiseAt(3-d, 3), m.RiseAt(3, 3+d), m.RiseAt(3, 3-d)}
+		for k := 1; k < 4; k++ {
+			if math.Abs(r[k]-r[0]) > 1e-9*r[0] {
+				t.Fatalf("asymmetric field at distance %d: %v", d, r)
+			}
+		}
+	}
+}

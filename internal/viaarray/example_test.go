@@ -1,0 +1,29 @@
+package viaarray_test
+
+import (
+	"fmt"
+
+	"emvia/internal/viaarray"
+)
+
+// Equation (5) of the paper: the redundancy arithmetic of a 16-via array.
+// One failed via costs 6.7 % resistance; half the array costs 100 %.
+func ExampleDeltaRFraction() {
+	for _, nf := range []int{1, 4, 8} {
+		fmt.Printf("n_F=%d: +%.1f%%\n", nf, 100*viaarray.DeltaRFraction(16, nf))
+	}
+	// Output:
+	// n_F=1: +6.7%
+	// n_F=4: +33.3%
+	// n_F=8: +100.0%
+}
+
+// Failure criteria expressed as resistance factors map to via counts: the
+// R=2× criterion of Fig 9 means half the vias, R=∞ means all of them.
+func ExampleFailKForResistanceFactor() {
+	fmt.Println("4x4 R=2x :", viaarray.FailKForResistanceFactor(4, 2))
+	fmt.Println("8x8 R=2x :", viaarray.FailKForResistanceFactor(8, 2))
+	// Output:
+	// 4x4 R=2x : 8
+	// 8x8 R=2x : 32
+}
