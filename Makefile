@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check bench bench-snapshot
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: static analysis plus the race detector over the two
+# packages whose parallel Monte-Carlo loops share solver state.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/mc ./internal/pdn
+
+# bench runs the paper-figure benchmarks with the fixed snapshot protocol
+# (see scripts/bench_snapshot.sh and BENCH_1.json).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve' \
+	    -benchmem -benchtime=100x -count=1 .
+
+bench-snapshot:
+	sh scripts/bench_snapshot.sh BENCH_snapshot.json

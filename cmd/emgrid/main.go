@@ -24,40 +24,64 @@ import (
 	"emvia/internal/cudd"
 	"emvia/internal/pdn"
 	"emvia/internal/phys"
+	"emvia/internal/profiling"
 	"emvia/internal/spice"
 	"emvia/internal/viaarray"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	args := os.Args[1:]
+	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	var err error
-	switch os.Args[1] {
-	case "gen":
-		err = cmdGen(os.Args[2:])
-	case "irdrop":
-		err = cmdIRDrop(os.Args[2:])
-	case "characterize":
-		err = cmdCharacterize(os.Args[2:])
-	case "charmodels":
-		err = cmdCharModels(os.Args[2:])
-	case "analyze":
-		err = cmdAnalyze(os.Args[2:])
-	case "xsection":
-		err = cmdXSection(os.Args[2:])
-	case "hotspots":
-		err = cmdHotspots(os.Args[2:])
-	case "optimize":
-		err = cmdOptimize(os.Args[2:])
-	case "-h", "--help", "help":
+	if args[0] == "-h" || args[0] == "--help" || args[0] == "help" {
 		usage()
 		return
-	default:
-		fmt.Fprintf(os.Stderr, "emgrid: unknown subcommand %q\n", os.Args[1])
+	}
+	// Global flags precede the subcommand: emgrid -cpuprofile cpu.out analyze …
+	global := flag.NewFlagSet("emgrid", flag.ExitOnError)
+	global.Usage = usage
+	cpuProfile := global.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := global.String("memprofile", "", "write a heap profile to this file on exit")
+	global.Parse(args) // stops at the subcommand, the first non-flag argument
+	args = global.Args()
+	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emgrid: %v\n", err)
+		os.Exit(1)
+	}
+	switch args[0] {
+	case "gen":
+		err = cmdGen(args[1:])
+	case "irdrop":
+		err = cmdIRDrop(args[1:])
+	case "characterize":
+		err = cmdCharacterize(args[1:])
+	case "charmodels":
+		err = cmdCharModels(args[1:])
+	case "analyze":
+		err = cmdAnalyze(args[1:])
+	case "xsection":
+		err = cmdXSection(args[1:])
+	case "hotspots":
+		err = cmdHotspots(args[1:])
+	case "optimize":
+		err = cmdOptimize(args[1:])
+	case "help":
+		usage()
+	default:
+		prof.Stop()
+		fmt.Fprintf(os.Stderr, "emgrid: unknown subcommand %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+	if perr := prof.Stop(); perr != nil && err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "emgrid: %v\n", err)
@@ -75,6 +99,9 @@ func usage() {
   xsection      render a Cu DD via-array structure cross-section as SVG
   hotspots      rank via arrays by EM criticality; optional IR heatmap SVG
   optimize      pick the best via-array configuration for a wire + rules
+Global flags (before the subcommand):
+  -cpuprofile FILE   write a CPU profile
+  -memprofile FILE   write a heap profile on exit
 Run 'emgrid <subcommand> -h' for flags.`)
 }
 

@@ -21,6 +21,7 @@ import (
 	"emvia/internal/core"
 	"emvia/internal/cudd"
 	"emvia/internal/phys"
+	"emvia/internal/profiling"
 	"emvia/internal/stat"
 )
 
@@ -58,7 +59,22 @@ func main() {
 	arrayN := flag.Int("array", 4, "via-array configuration n (n×n)")
 	fast := flag.Bool("fast", false, "coarse FEA meshes")
 	seed := flag.Int64("seed", 2017, "random seed")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emsweep: %v\n", err)
+		os.Exit(1)
+	}
+	// os.Exit skips deferred calls, so error paths below stop the profiles
+	// explicitly through fatal.
+	fatal := func(format string, a ...any) {
+		prof.Stop()
+		fmt.Fprintf(os.Stderr, format, a...)
+		os.Exit(1)
+	}
 
 	mkAnalyzer := func() *core.Analyzer {
 		a := core.NewAnalyzer()
@@ -84,8 +100,7 @@ func main() {
 
 	baseMed, baseWorst, err := eval(mkAnalyzer())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "emsweep: baseline: %v\n", err)
-		os.Exit(1)
+		fatal("emsweep: baseline: %v\n", err)
 	}
 	fmt.Printf("baseline %dx%d Plus array (R=inf): median %.2f y, worst-case %.2f y\n\n",
 		*arrayN, *arrayN, baseMed, baseWorst)
@@ -127,4 +142,7 @@ func main() {
 		fmt.Printf("%-26s %12.2f %12.2f %9.1f%%\n", r.name, r.lowMed, r.hiMed, r.swingMedianPct)
 	}
 	fmt.Println("\nswing = |median(+delta) − median(−delta)| / baseline median")
+	if err := prof.Stop(); err != nil {
+		fatal("emsweep: %v\n", err)
+	}
 }

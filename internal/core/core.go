@@ -48,6 +48,13 @@ type Analyzer struct {
 
 	mu    sync.Mutex
 	cache map[stressKey][][]float64
+
+	// charCache memoizes whole via-array characterizations the same way the
+	// FEA cache memoizes stress solves: for a fixed seed the step-1 Monte
+	// Carlo is a pure function of its inputs, and grid experiments routinely
+	// re-request the same pattern/criterion/trials combination.
+	charMu    sync.Mutex
+	charCache map[charKey]*ViaArrayCharacterization
 }
 
 type stressKey struct {
@@ -55,6 +62,18 @@ type stressKey struct {
 	pair    cudd.LayerPair
 	n       int
 	width   float64
+}
+
+type charKey struct {
+	pattern cudd.Pattern
+	pair    cudd.LayerPair
+	n       int
+	width   float64
+	j       float64
+	pkg     float64 // PackageStress feeds the sampled σ_T, so it keys too
+	crit    ArrayCriterion
+	trials  int
+	seed    int64
 }
 
 // NewAnalyzer returns an analyzer with the paper's nominal technology:
@@ -179,7 +198,17 @@ func (a *Analyzer) CharacterizeViaArray(pattern cudd.Pattern, arrayN int, width,
 
 // CharacterizeViaArrayPair is CharacterizeViaArray for an explicit metal
 // layer pair (multi-layer grids characterize all three pair classes).
+// Results are memoized per analyzer: like the FEA cache, this assumes the
+// technology parameters (Base, EM, FEA) are fixed once characterization
+// starts. Callers must treat the returned characterization as read-only.
 func (a *Analyzer) CharacterizeViaArrayPair(pattern cudd.Pattern, pair cudd.LayerPair, arrayN int, width, j float64, crit ArrayCriterion, trials int, seed int64) (*ViaArrayCharacterization, error) {
+	ck := charKey{pattern, pair, arrayN, width, j, a.PackageStress, crit, trials, seed}
+	a.charMu.Lock()
+	cached, ok := a.charCache[ck]
+	a.charMu.Unlock()
+	if ok {
+		return cached, nil
+	}
 	sigma, err := a.StressFor(pattern, pair, arrayN, width)
 	if err != nil {
 		return nil, err
@@ -197,7 +226,14 @@ func (a *Analyzer) CharacterizeViaArrayPair(pattern cudd.Pattern, pair cudd.Laye
 	if err != nil {
 		return nil, err
 	}
-	return &ViaArrayCharacterization{Pattern: pattern, Result: res, Model: res.Model}, nil
+	out := &ViaArrayCharacterization{Pattern: pattern, Result: res, Model: res.Model}
+	a.charMu.Lock()
+	if a.charCache == nil {
+		a.charCache = make(map[charKey]*ViaArrayCharacterization)
+	}
+	a.charCache[ck] = out
+	a.charMu.Unlock()
+	return out, nil
 }
 
 // ViaArrayModels characterizes all three intersection patterns and returns

@@ -142,9 +142,15 @@ func Run(sys System, opt Options) (*Result, error) {
 		Events:     make([][]float64, opt.Trials),
 		EventComps: make([][]int, opt.Trials),
 	}
+	// One generator and one scratch buffer set serve every trial: reseeding
+	// with the per-trial seed reproduces exactly the stream a fresh
+	// generator would, so results are unchanged while the loop stops
+	// allocating.
+	rng := rand.New(rand.NewSource(trialSeed(opt.Seed, 0)))
+	var scratch trialScratch
 	for t := 0; t < opt.Trials; t++ {
-		rng := rand.New(rand.NewSource(trialSeed(opt.Seed, t)))
-		ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion)
+		rng.Seed(trialSeed(opt.Seed, t))
+		ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch)
 		if err != nil {
 			return nil, fmt.Errorf("mc: trial %d: %w", t, err)
 		}
@@ -189,6 +195,8 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 				mu.Unlock()
 				return
 			}
+			rng := rand.New(rand.NewSource(trialSeed(opt.Seed, 0)))
+			var scratch trialScratch
 			for {
 				mu.Lock()
 				if firstErr != nil || next >= opt.Trials {
@@ -199,8 +207,8 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 				next++
 				mu.Unlock()
 
-				rng := rand.New(rand.NewSource(trialSeed(opt.Seed, t)))
-				ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion)
+				rng.Seed(trialSeed(opt.Seed, t))
+				ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -222,14 +230,34 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 	return res, nil
 }
 
+// trialScratch holds the per-trial damage and liveness buffers a worker
+// reuses across the trials it runs, keeping the scheduling loop
+// allocation-free.
+type trialScratch struct {
+	damage []float64
+	alive  []bool
+}
+
+func (s *trialScratch) reserve(n int) {
+	if cap(s.damage) < n {
+		s.damage = make([]float64, n)
+		s.alive = make([]bool, n)
+	}
+	s.damage = s.damage[:n]
+	s.alive = s.alive[:n]
+}
+
 // runTrial performs one sequential-failure trial.
-func runTrial(sys System, rng *rand.Rand, toCompletion bool) (systemTTF float64, events []float64, comps []int, err error) {
+func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScratch) (systemTTF float64, events []float64, comps []int, err error) {
 	if err := sys.BeginTrial(rng); err != nil {
 		return 0, nil, nil, fmt.Errorf("BeginTrial: %w", err)
 	}
 	n := sys.NumComponents()
-	damage := make([]float64, n)
-	alive := make([]bool, n)
+	scratch.reserve(n)
+	damage, alive := scratch.damage, scratch.alive
+	for i := range damage {
+		damage[i] = 0
+	}
 	for i := range alive {
 		alive[i] = true
 	}

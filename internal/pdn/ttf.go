@@ -109,6 +109,11 @@ type GridSystem struct {
 	iNow        []float64
 	opNow       *spice.OP
 	failedCount int
+
+	// Two spare operating points double-buffer the re-solves inside a trial:
+	// Fail always solves into the spare opNow does not occupy, so op0 is
+	// never overwritten and the inner loop allocates nothing.
+	opA, opB *spice.OP
 }
 
 // NewSystem compiles the grid and solves the pristine operating point. It
@@ -132,6 +137,8 @@ func NewSystem(cfg TTFConfig) (*GridSystem, error) {
 		}
 	}
 	s := &GridSystem{cfg: cfg, circuit: circuit, op0: op}
+	s.opA = circuit.NewOP()
+	s.opB = circuit.NewOP()
 	s.i0 = make([]float64, len(cfg.Grid.Vias))
 	for k, v := range cfg.Grid.Vias {
 		s.i0[k] = math.Abs(op.ResistorCurrent(v.ResistorIndex))
@@ -151,17 +158,11 @@ func (s *GridSystem) BeginTrial(rng *rand.Rand) error {
 		s.baseTTF = make([]float64, n)
 		s.iNow = make([]float64, n)
 	}
-	// Restore any vias opened by the previous trial.
-	for k, v := range s.cfg.Grid.Vias {
-		if s.alive[k] {
-			continue
-		}
-		if s.circuit.ResistorDisabled(v.ResistorIndex) {
-			if err := s.circuit.SetResistor(v.ResistorIndex, s.cfg.Grid.Netlist.Resistors[v.ResistorIndex].Ohms); err != nil {
-				return err
-			}
-		}
-	}
+	// Restore the vias opened by the previous trial and put the solver into
+	// its canonical pristine state (matrix values, factor, preconditioner),
+	// so trial outcomes do not depend on which trials ran before on this
+	// system instance.
+	s.circuit.ResetResistors()
 	for k := range s.alive {
 		s.alive[k] = true
 	}
@@ -209,11 +210,15 @@ func (s *GridSystem) Fail(k int) error {
 	if s.cfg.Criterion == WeakestLink {
 		return nil
 	}
-	op, err := s.circuit.SolveDC(s.opNow)
-	if err != nil {
+	dst := s.opA
+	if s.opNow == s.opA {
+		dst = s.opB
+	}
+	if err := s.circuit.SolveDCInto(dst, s.opNow); err != nil {
 		return fmt.Errorf("pdn: re-solve after failing array %d: %w", k, err)
 	}
-	s.opNow = op
+	s.opNow = dst
+	op := dst
 	for i, v := range s.cfg.Grid.Vias {
 		if s.alive[i] {
 			s.iNow[i] = math.Abs(op.ResistorCurrent(v.ResistorIndex))

@@ -1,0 +1,71 @@
+// Package profiling wires the standard runtime/pprof CPU and heap profiles
+// into command-line tools behind -cpuprofile / -memprofile flags, so the
+// Monte-Carlo hot path can be profiled on real workloads without ad-hoc
+// instrumentation.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session is an active profiling session. The zero value (from Start with
+// empty paths) is inert: Stop on it is a no-op.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins CPU profiling to cpuPath and schedules a heap snapshot to
+// memPath at Stop. Either path may be empty to disable that profile. The
+// caller must call Stop before exiting, including on error paths —
+// os.Exit skips deferred calls, so commands should funnel exits through a
+// single point after Stop.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: create CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile. It is safe to
+// call on a session with neither profile enabled, and idempotent.
+func (s *Session) Stop() error {
+	var first error
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("profiling: close CPU profile: %w", err)
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("profiling: create heap profile: %w", err)
+			}
+		} else {
+			runtime.GC() // snapshot live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profiling: close heap profile: %w", err)
+			}
+		}
+		s.memPath = ""
+	}
+	return first
+}

@@ -3,6 +3,8 @@ package solver
 import (
 	"fmt"
 	"math"
+
+	"emvia/internal/sparse"
 )
 
 // DenseCholesky is a dense LLᵀ factorization of a small SPD matrix, used for
@@ -20,15 +22,25 @@ func NewDenseCholesky(a []float64, n int) (*DenseCholesky, error) {
 		return nil, fmt.Errorf("solver: dense matrix has %d entries, want %d", len(a), n*n)
 	}
 	l := make([]float64, n*n)
+	copy(l, a)
+	if err := factorLowerInPlace(l, n); err != nil {
+		return nil, err
+	}
+	return &DenseCholesky{n: n, l: l}, nil
+}
+
+// factorLowerInPlace overwrites the lower triangle of the row-major matrix in
+// l with its Cholesky factor. Entries above the diagonal are ignored.
+func factorLowerInPlace(l []float64, n int) error {
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
-			sum := a[i*n+j]
+			sum := l[i*n+j]
 			for k := 0; k < j; k++ {
 				sum -= l[i*n+k] * l[j*n+k]
 			}
 			if i == j {
 				if sum <= 0 || math.IsNaN(sum) {
-					return nil, fmt.Errorf("%w: pivot %g at row %d", ErrNotSPD, sum, i)
+					return fmt.Errorf("%w: pivot %g at row %d", ErrNotSPD, sum, i)
 				}
 				l[i*n+i] = math.Sqrt(sum)
 			} else {
@@ -36,30 +48,149 @@ func NewDenseCholesky(a []float64, n int) (*DenseCholesky, error) {
 			}
 		}
 	}
-	return &DenseCholesky{n: n, l: l}, nil
+	return nil
+}
+
+// NewDenseCholeskyFromCSR densifies a small sparse SPD matrix and factors it.
+// Intended for the direct power-grid solve path, where node counts are small
+// enough that O(n²) storage and O(n³) factorization beat iterative solves.
+func NewDenseCholeskyFromCSR(a *sparse.CSR) (*DenseCholesky, error) {
+	n, cdim := a.Dims()
+	if n != cdim {
+		return nil, fmt.Errorf("solver: dense factor needs a square matrix, got %d×%d", n, cdim)
+	}
+	c := &DenseCholesky{n: n, l: make([]float64, n*n)}
+	if err := c.RefactorFromCSR(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// RefactorFromCSR refactors in place from a, which must have the dimension
+// the factor was built with. It performs no allocation.
+func (c *DenseCholesky) RefactorFromCSR(a *sparse.CSR) error {
+	n, cdim := a.Dims()
+	if n != c.n || cdim != c.n {
+		return fmt.Errorf("solver: Refactor dimensions %d×%d, want %d×%d", n, cdim, c.n, c.n)
+	}
+	for i := range c.l {
+		c.l[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		for k, col := range cols {
+			if col <= i {
+				c.l[i*n+col] = vals[k]
+			}
+		}
+	}
+	return factorLowerInPlace(c.l, n)
+}
+
+// N returns the system dimension.
+func (c *DenseCholesky) N() int { return c.n }
+
+// Set overwrites the factor with a copy of src's, which must have the same
+// dimension. It lets a Monte-Carlo trial restore a pristine factor by memcpy
+// instead of refactoring.
+func (c *DenseCholesky) Set(src *DenseCholesky) error {
+	if src.n != c.n {
+		return fmt.Errorf("solver: Set dimension %d, want %d", src.n, c.n)
+	}
+	copy(c.l, src.l)
+	return nil
+}
+
+// Clone returns an independent copy of the factor.
+func (c *DenseCholesky) Clone() *DenseCholesky {
+	l := make([]float64, len(c.l))
+	copy(l, c.l)
+	return &DenseCholesky{n: c.n, l: l}
+}
+
+// Update applies the rank-one update L·Lᵀ → L·Lᵀ + w·wᵀ in place (LINPACK
+// dchud). w is consumed. Updates always succeed on a valid factor.
+func (c *DenseCholesky) Update(w []float64) {
+	n, l := c.n, c.l
+	k0 := 0
+	for k0 < n && w[k0] == 0 {
+		k0++
+	}
+	for k := k0; k < n; k++ {
+		lkk := l[k*n+k]
+		r := math.Hypot(lkk, w[k])
+		cc := r / lkk
+		s := w[k] / lkk
+		l[k*n+k] = r
+		for i := k + 1; i < n; i++ {
+			lik := (l[i*n+k] + s*w[i]) / cc
+			l[i*n+k] = lik
+			w[i] = cc*w[i] - s*lik
+		}
+	}
+}
+
+// Downdate applies the rank-one downdate L·Lᵀ → L·Lᵀ − w·wᵀ in place
+// (LINPACK dchdd). w is consumed. It returns ErrNotSPD — leaving the factor
+// partially modified, so the caller must refactor — when the downdated
+// matrix is not positive definite.
+func (c *DenseCholesky) Downdate(w []float64) error {
+	n, l := c.n, c.l
+	k0 := 0
+	for k0 < n && w[k0] == 0 {
+		k0++
+	}
+	for k := k0; k < n; k++ {
+		lkk := l[k*n+k]
+		d := (lkk - w[k]) * (lkk + w[k])
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("%w: downdate pivot %g at row %d", ErrNotSPD, d, k)
+		}
+		r := math.Sqrt(d)
+		cc := r / lkk
+		s := w[k] / lkk
+		l[k*n+k] = r
+		for i := k + 1; i < n; i++ {
+			lik := (l[i*n+k] - s*w[i]) / cc
+			l[i*n+k] = lik
+			w[i] = cc*w[i] - s*lik
+		}
+	}
+	return nil
 }
 
 // Solve returns x with A·x = b.
 func (c *DenseCholesky) Solve(b []float64) ([]float64, error) {
-	if len(b) != c.n {
-		return nil, fmt.Errorf("solver: rhs length %d does not match dimension %d", len(b), c.n)
+	x := make([]float64, c.n)
+	if err := c.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto overwrites x with A⁻¹·b without allocating. x and b must have
+// the system dimension and must not alias.
+func (c *DenseCholesky) SolveInto(x, b []float64) error {
+	if len(b) != c.n || len(x) != c.n {
+		return fmt.Errorf("solver: SolveInto lengths %d/%d do not match dimension %d", len(x), len(b), c.n)
 	}
 	n, l := c.n, c.l
-	y := make([]float64, n)
+	// Forward solve L·y = b into x, then backward solve Lᵀ·x = y in place:
+	// the backward sweep at row i only reads entries x[k] with k > i, which
+	// are already final.
 	for i := 0; i < n; i++ {
 		sum := b[i]
 		for k := 0; k < i; k++ {
-			sum -= l[i*n+k] * y[k]
+			sum -= l[i*n+k] * x[k]
 		}
-		y[i] = sum / l[i*n+i]
+		x[i] = sum / l[i*n+i]
 	}
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
-		sum := y[i]
+		sum := x[i]
 		for k := i + 1; k < n; k++ {
 			sum -= l[k*n+i] * x[k]
 		}
 		x[i] = sum / l[i*n+i]
 	}
-	return x, nil
+	return nil
 }

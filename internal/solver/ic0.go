@@ -46,13 +46,23 @@ func NewIC0(a *sparse.CSR) (*IC0, error) {
 	}
 	ptr[n] = len(colsAll)
 
-	// firstInCol[j] tracks, for each column j, a linked scan position used to
-	// iterate rows that have an entry in column j below the current pivot.
-	// We use the simple O(nnz·rowlen) up-looking variant: for each row i and
-	// each pair (j,k) of its off-diagonal columns, subtract L(i,j)·L(k,j)
-	// contributions. Rows here are short (FEM ≤ ~81, grids ≤ ~7), so the
-	// quadratic-in-rowlen cost is fine.
-	for i := 0; i < n; i++ {
+	ic := &IC0{n: n, ptr: ptr, cols: colsAll, vals: valsAll, diag: diag}
+	if err := ic.factor(); err != nil {
+		return nil, err
+	}
+	return ic, nil
+}
+
+// factor runs the numeric IC(0) factorization in place over vals, which must
+// hold the lower triangle of A in pattern order.
+//
+// We use the simple O(nnz·rowlen) up-looking variant: for each row i and
+// each pair (j,k) of its off-diagonal columns, subtract L(i,j)·L(k,j)
+// contributions. Rows here are short (FEM ≤ ~81, grids ≤ ~7), so the
+// quadratic-in-rowlen cost is fine.
+func (ic *IC0) factor() error {
+	ptr, colsAll, valsAll, diag := ic.ptr, ic.cols, ic.vals, ic.diag
+	for i := 0; i < ic.n; i++ {
 		rowCols := colsAll[ptr[i] : ptr[i+1]-1] // off-diagonal columns of row i
 		rowVals := valsAll[ptr[i] : ptr[i+1]-1]
 		// Update row i using previously factored rows j (j < i, entry L(i,j)).
@@ -85,12 +95,42 @@ func NewIC0(a *sparse.CSR) (*IC0, error) {
 			d -= v * v
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("%w: IC0 pivot %g at row %d", ErrNotSPD, d, i)
+			return fmt.Errorf("%w: IC0 pivot %g at row %d", ErrNotSPD, d, i)
 		}
 		valsAll[diag[i]] = math.Sqrt(d)
 	}
+	return nil
+}
 
-	return &IC0{n: n, ptr: ptr, cols: colsAll, vals: valsAll, diag: diag}, nil
+// Refresh refactors the preconditioner in place from a, which must have the
+// sparsity pattern the factor was built from. It performs no allocation, so
+// the circuit solver can refresh a stale factor inside the Monte-Carlo inner
+// loop. On error the factor content is undefined and the caller must rebuild
+// with NewIC0.
+func (ic *IC0) Refresh(a *sparse.CSR) error {
+	n, c := a.Dims()
+	if n != ic.n || c != ic.n {
+		return fmt.Errorf("solver: IC0 Refresh dimensions %d×%d, want %d×%d", n, c, ic.n, ic.n)
+	}
+	// Re-copy the lower triangle of a into the factor storage in place.
+	w := 0
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		for k, col := range cols {
+			if col > i {
+				break
+			}
+			if w >= ic.ptr[i+1] || ic.cols[w] != col {
+				return fmt.Errorf("solver: IC0 Refresh pattern mismatch at (%d,%d)", i, col)
+			}
+			ic.vals[w] = vals[k]
+			w++
+		}
+		if w != ic.ptr[i+1] {
+			return fmt.Errorf("solver: IC0 Refresh pattern mismatch in row %d", i)
+		}
+	}
+	return ic.factor()
 }
 
 // Apply overwrites z with (L·Lᵀ)⁻¹·r by forward and backward substitution.

@@ -33,6 +33,31 @@ type Preconditioner interface {
 	Apply(z, r []float64)
 }
 
+// Updatable is implemented by preconditioners that can absorb a single
+// diagonal change of the system matrix in O(1), keeping the preconditioner
+// exactly current across the low-rank edits the EM failure simulation makes.
+type Updatable interface {
+	Preconditioner
+	// UpdateDiag records that diagonal entry i of the system matrix is now
+	// d. It reports false when d is unusable (non-positive), in which case
+	// the caller must rebuild the preconditioner instead.
+	UpdateDiag(i int, d float64) bool
+}
+
+// Refreshable is implemented by preconditioners that can refactor in place
+// from a matrix with the same sparsity pattern they were built from, without
+// allocating. Callers use it to refresh a stale factor on a schedule (every K
+// topology edits, or when CG iteration counts drift) instead of on every
+// solve.
+type Refreshable interface {
+	Preconditioner
+	// Refresh recomputes the preconditioner from a, which must have the
+	// sparsity pattern of the matrix the preconditioner was built from. On
+	// error the preconditioner is left in an undefined state and must be
+	// rebuilt from scratch.
+	Refresh(a *sparse.CSR) error
+}
+
 // Identity is the trivial preconditioner M = I.
 type Identity struct{}
 
@@ -65,6 +90,40 @@ func (j *Jacobi) Apply(z, r []float64) {
 	}
 }
 
+// UpdateDiag replaces the cached inverse of diagonal entry i in O(1). It
+// reports false (leaving the old value) when d is not positive.
+func (j *Jacobi) UpdateDiag(i int, d float64) bool {
+	if d <= 0 || math.IsNaN(d) {
+		return false
+	}
+	j.invDiag[i] = 1 / d
+	return true
+}
+
+// Refresh recomputes every inverse diagonal from a without allocating. The
+// matrix must have the dimension the preconditioner was built with.
+func (j *Jacobi) Refresh(a *sparse.CSR) error {
+	n, _ := a.Dims()
+	if n != len(j.invDiag) {
+		return fmt.Errorf("solver: Jacobi Refresh dimension %d, want %d", n, len(j.invDiag))
+	}
+	for i := 0; i < n; i++ {
+		d := 0.0
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			if c == i {
+				d = vals[k]
+				break
+			}
+		}
+		if d <= 0 {
+			return fmt.Errorf("%w: diagonal entry %d is %g", ErrNotSPD, i, d)
+		}
+		j.invDiag[i] = 1 / d
+	}
+	return nil
+}
+
 // Options configures the conjugate-gradient iteration.
 type Options struct {
 	// Tol is the relative residual tolerance ‖b−Ax‖₂ ≤ Tol·‖b‖₂.
@@ -77,6 +136,34 @@ type Options struct {
 	// X0 optionally provides a warm-start initial guess (copied, not
 	// mutated). Nil starts from zero.
 	X0 []float64
+	// Work optionally supplies reusable solve buffers. When set, CG
+	// performs no heap allocation and the returned solution aliases
+	// Work.X — callers must copy it out before the next solve.
+	Work *Workspace
+}
+
+// Workspace holds the scratch vectors of a CG solve so repeated solves of
+// same-dimension systems (the Monte-Carlo re-solve loop) are allocation-free.
+// The zero value is ready to use; buffers grow on first use.
+type Workspace struct {
+	X          []float64 // solution vector of the most recent solve
+	r, z, p, a []float64
+}
+
+// Reserve grows the workspace to dimension n.
+func (w *Workspace) Reserve(n int) {
+	if cap(w.X) < n {
+		w.X = make([]float64, n)
+		w.r = make([]float64, n)
+		w.z = make([]float64, n)
+		w.p = make([]float64, n)
+		w.a = make([]float64, n)
+	}
+	w.X = w.X[:n]
+	w.r = w.r[:n]
+	w.z = w.z[:n]
+	w.p = w.p[:n]
+	w.a = w.a[:n]
 }
 
 // Stats reports how a CG solve went.
@@ -112,8 +199,20 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		m = opt.M
 	}
 
-	x := make([]float64, n)
-	r := make([]float64, n)
+	var x, r, z, p, ap []float64
+	if opt.Work != nil {
+		opt.Work.Reserve(n)
+		x, r, z, p, ap = opt.Work.X, opt.Work.r, opt.Work.z, opt.Work.p, opt.Work.a
+		for i := range x {
+			x[i] = 0
+		}
+	} else {
+		x = make([]float64, n)
+		r = make([]float64, n)
+		z = make([]float64, n)
+		p = make([]float64, n)
+		ap = make([]float64, n)
+	}
 	if opt.X0 != nil {
 		if len(opt.X0) != n {
 			return nil, Stats{}, fmt.Errorf("solver: CG warm start length %d does not match dimension %d", len(opt.X0), n)
@@ -130,12 +229,11 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 	bnorm := norm2(b)
 	if bnorm == 0 {
 		// b = 0 ⇒ x = 0 exactly.
+		for i := range x {
+			x[i] = 0
+		}
 		return x, Stats{Iterations: 0, Residual: 0}, nil
 	}
-
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
 
 	m.Apply(z, r)
 	copy(p, z)

@@ -8,10 +8,40 @@ import (
 	"emvia/internal/sparse"
 )
 
+// Tunables of the incremental re-solve engine.
+const (
+	// defaultTol is the CG relative-residual tolerance.
+	defaultTol = 1e-7
+	// defaultDirectMaxNodes is the free-node count at and below which solves
+	// use a cached dense Cholesky factor maintained by rank-one updates
+	// instead of preconditioned CG. At a few hundred unknowns the O(n²)
+	// triangular solves beat CG iteration, and failure edits become O(n²)
+	// factor updates instead of fresh Krylov solves.
+	defaultDirectMaxNodes = 256
+	// precondRefreshEdits is the staleness budget K: a Refreshable
+	// preconditioner is refactored in place once this many resistor edits
+	// have accumulated since it last matched the matrix. Below the budget
+	// the stale factor is knowingly reused — after few failures it remains
+	// an excellent (and still SPD, hence valid) preconditioner.
+	precondRefreshEdits = 16
+)
+
 // Circuit is a compiled netlist ready for repeated DC solves with mutable
 // resistor values — the operation the EM failure simulation performs after
-// every via-array failure.
+// every via-array failure. The first solve compiles a fixed-pattern linear
+// system (the gmin leak puts every free node on the diagonal and disabled
+// resistors stay in the pattern), after which every resistor edit is an
+// in-place O(4) value update and re-solves reuse all buffers and factors.
 type Circuit struct {
+	// Tol is the relative residual tolerance of the iterative solve path.
+	// Zero selects the default 1e-7.
+	Tol float64
+	// DirectMaxNodes bounds the free-node count for the direct dense-factor
+	// path. Zero selects the default 256; negative disables the direct path.
+	// It is consulted when the solve pattern is first compiled, so set it
+	// before the first solve.
+	DirectMaxNodes int
+
 	names []string
 	index map[string]int
 
@@ -24,12 +54,18 @@ type Circuit struct {
 
 	gmin float64
 
-	// Preconditioner cache: EM failure simulation re-solves the grid after
-	// every single-element change, where the pristine-grid IC(0) factor
-	// remains an excellent (and still SPD, hence valid) preconditioner.
-	// The cache is rebuilt adaptively when convergence degrades.
-	precond      solver.Preconditioner
-	precondIters int // iteration count right after the cache was (re)built
+	asm *assembly // compiled fixed-pattern system; nil until the first solve
+
+	// Preconditioner cache for the iterative path. precondGen records the
+	// assembly generation the preconditioner last matched, so SolveDC can
+	// tell exactly how stale it is: Updatable preconditioners are kept
+	// current eagerly, Refreshable ones refresh on the staleness policy
+	// (edit budget or CG iteration drift), and any reuse in between is a
+	// deliberate policy decision rather than a forgotten invalidation.
+	precond           solver.Preconditioner
+	precondIters      int // iteration count right after the cache was (re)built
+	precondGen        uint64
+	editsSinceRefresh int
 }
 
 type cResistor struct {
@@ -42,6 +78,50 @@ type cResistor struct {
 type cCurrent struct {
 	a, b int
 	amps float64
+}
+
+// resSlots caches the nnz slots and RHS coupling of one resistor so a
+// conductance change applies as at most four in-place matrix edits plus at
+// most two RHS edits.
+type resSlots struct {
+	aa, bb, ab, ba int     // matrix value slots; -1 when the entry does not exist
+	fa, fb         int     // free equation index per terminal; -1 for pad or ground
+	va, vb         float64 // pinned voltage of a pad terminal (0 for ground or free)
+}
+
+// assembly is the compiled fixed-pattern linear system of a circuit. The
+// sparsity pattern covers every resistor — disabled ones too — plus the gmin
+// leak on every free diagonal, so it is invariant across arbitrary failure
+// and repair sequences and every topology edit is a pure value update.
+type assembly struct {
+	mat   *sparse.CSR
+	rhs   []float64
+	slots []resSlots
+	diag  []int  // matrix slot of each free diagonal (gmin anchor)
+	gen   uint64 // bumped on every value edit
+
+	// Pristine snapshots taken right after compilation. ResetResistors
+	// restores them verbatim, so every Monte-Carlo trial starts from
+	// bit-identical state no matter what previous trials did — the property
+	// that keeps parallel runs identical to serial ones.
+	mat0 []float64
+	rhs0 []float64
+	res0 []cResistor
+
+	// Direct path (small grids): cached dense Cholesky factor maintained by
+	// rank-one updates/downdates; chol0 is the pristine factor restored at
+	// trial reset by memcpy. The factor is built lazily — a one-shot cold
+	// solve never pays the O(n³) factorization; only re-solve activity
+	// (an edit or a trial reset after the first solve) triggers it.
+	direct       bool
+	chol         *solver.DenseCholesky
+	chol0        *solver.DenseCholesky
+	w            []float64 // rank-one update scratch
+	needRefactor bool      // a downdate broke down; refactor from mat lazily
+
+	// Iterative-path scratch: CG workspace and the warm-start vector.
+	work solver.Workspace
+	x0   []float64
 }
 
 // Compile flattens a netlist into solver-ready form. Every voltage source
@@ -123,6 +203,230 @@ func (c *Circuit) NodeName(i int) string { return c.names[i] }
 // IsPad reports whether node i is pinned by a voltage source.
 func (c *Circuit) IsPad(i int) bool { return c.freeIdx[i] < 0 }
 
+// Generation returns the topology-edit counter of the compiled system: it
+// advances on every resistor value change, disable, enable, and reset, and is
+// zero before the first solve. Tests and callers use it to reason about
+// preconditioner staleness.
+func (c *Circuit) Generation() uint64 {
+	if c.asm == nil {
+		return 0
+	}
+	return c.asm.gen
+}
+
+// DirectPath reports whether solves use the cached dense factor (small
+// systems) rather than preconditioned CG. Decided at first solve.
+func (c *Circuit) DirectPath() bool { return c.asm != nil && c.asm.direct }
+
+// PrecondStaleEdits returns how many resistor edits the iterative-path
+// preconditioner is currently behind the matrix. Zero means exactly current.
+func (c *Circuit) PrecondStaleEdits() int { return c.editsSinceRefresh }
+
+// freeTerm maps a node index (-1 = ground) to its free equation index.
+func (c *Circuit) freeTerm(node int) int {
+	if node < 0 {
+		return -1
+	}
+	return c.freeIdx[node]
+}
+
+// compile builds the fixed sparsity pattern, the per-resistor slot map, the
+// pristine snapshots, and — for small systems — the cached dense factor.
+// Called lazily by the first solve so that pre-solve SetResistor /
+// DisableResistor calls are folded into the pristine state.
+func (c *Circuit) compile() {
+	n := c.nFree
+	tr := sparse.NewTriplet(n, n, len(c.res)*4+n)
+	// Structural stamps use the placeholder 1 (Triplet.Add drops zeros); the
+	// numeric content is filled by refreshValues below.
+	for i := range c.names {
+		if fi := c.freeIdx[i]; fi >= 0 {
+			tr.Add(fi, fi, 1) // gmin leak anchors every free diagonal
+		}
+	}
+	for _, r := range c.res {
+		fa, fb := c.freeTerm(r.a), c.freeTerm(r.b)
+		if fa >= 0 {
+			tr.Add(fa, fa, 1)
+			if fb >= 0 {
+				tr.Add(fa, fb, 1)
+			}
+		}
+		if fb >= 0 {
+			tr.Add(fb, fb, 1)
+			if fa >= 0 {
+				tr.Add(fb, fa, 1)
+			}
+		}
+	}
+	mat := tr.ToCSR()
+	a := &assembly{mat: mat, rhs: make([]float64, n)}
+	a.diag = make([]int, n)
+	for i := range c.names {
+		if fi := c.freeIdx[i]; fi >= 0 {
+			a.diag[fi] = mat.SlotIndex(fi, fi)
+		}
+	}
+	a.slots = make([]resSlots, len(c.res))
+	for k, r := range c.res {
+		sl := resSlots{aa: -1, bb: -1, ab: -1, ba: -1, fa: -1, fb: -1}
+		if r.a >= 0 {
+			if fi := c.freeIdx[r.a]; fi >= 0 {
+				sl.fa = fi
+			} else {
+				sl.va = c.fixed[r.a]
+			}
+		}
+		if r.b >= 0 {
+			if fi := c.freeIdx[r.b]; fi >= 0 {
+				sl.fb = fi
+			} else {
+				sl.vb = c.fixed[r.b]
+			}
+		}
+		if sl.fa >= 0 {
+			sl.aa = mat.SlotIndex(sl.fa, sl.fa)
+			if sl.fb >= 0 {
+				sl.ab = mat.SlotIndex(sl.fa, sl.fb)
+			}
+		}
+		if sl.fb >= 0 {
+			sl.bb = mat.SlotIndex(sl.fb, sl.fb)
+			if sl.fa >= 0 {
+				sl.ba = mat.SlotIndex(sl.fb, sl.fa)
+			}
+		}
+		a.slots[k] = sl
+	}
+	c.asm = a
+	c.refreshValues()
+
+	a.mat0 = make([]float64, mat.NNZ())
+	mat.CopyValues(a.mat0)
+	a.rhs0 = append([]float64(nil), a.rhs...)
+	a.res0 = append([]cResistor(nil), c.res...)
+
+	limit := c.DirectMaxNodes
+	if limit == 0 {
+		limit = defaultDirectMaxNodes
+	}
+	if n > 0 && limit > 0 && n <= limit {
+		a.direct = true
+		a.w = make([]float64, n)
+	}
+	a.work.Reserve(n)
+	a.x0 = make([]float64, n)
+}
+
+// refreshValues rebuilds the numeric content of the compiled system (matrix
+// values and RHS) from the current resistor and current-source state, without
+// touching the pattern or allocating.
+func (c *Circuit) refreshValues() {
+	a := c.asm
+	a.mat.ZeroValues()
+	for i := range a.rhs {
+		a.rhs[i] = 0
+	}
+	for _, s := range a.diag {
+		a.mat.AddAt(s, c.gmin)
+	}
+	for k, r := range c.res {
+		if r.disabled {
+			continue
+		}
+		c.applyDelta(a.slots[k], r.cond)
+	}
+	for _, s := range c.cur {
+		// Current flows a→b through the source: out of node a, into node b.
+		if s.a >= 0 {
+			if fi := c.freeIdx[s.a]; fi >= 0 {
+				a.rhs[fi] -= s.amps
+			}
+		}
+		if s.b >= 0 {
+			if fi := c.freeIdx[s.b]; fi >= 0 {
+				a.rhs[fi] += s.amps
+			}
+		}
+	}
+}
+
+// applyDelta adds a conductance change dg of one resistor to the matrix
+// values and RHS. Pad terms move to the RHS; a ground terminal carries va/vb
+// of zero, so its RHS edit degenerates to a no-op.
+func (c *Circuit) applyDelta(sl resSlots, dg float64) {
+	a := c.asm
+	if sl.fa >= 0 {
+		a.mat.AddAt(sl.aa, dg)
+		if sl.fb >= 0 {
+			a.mat.AddAt(sl.ab, -dg)
+		} else {
+			a.rhs[sl.fa] += dg * sl.vb
+		}
+	}
+	if sl.fb >= 0 {
+		a.mat.AddAt(sl.bb, dg)
+		if sl.fa >= 0 {
+			a.mat.AddAt(sl.ba, -dg)
+		} else {
+			a.rhs[sl.fb] += dg * sl.va
+		}
+	}
+}
+
+// editResistor propagates an effective-conductance change of resistor i into
+// the compiled system and its cached factor or preconditioner. Before the
+// first solve there is nothing compiled and the change is simply recorded in
+// the resistor table.
+func (c *Circuit) editResistor(i int, dg float64) {
+	if dg == 0 || c.asm == nil {
+		return
+	}
+	a := c.asm
+	a.gen++
+	sl := a.slots[i]
+	c.applyDelta(sl, dg)
+	c.editsSinceRefresh++
+	if a.direct {
+		if a.chol != nil && !a.needRefactor {
+			// The edit is rank-one: ΔA = dg·u·uᵀ with u = e_fa − e_fb
+			// (dropping pad/ground terminals), so the cached factor absorbs
+			// it as a Cholesky update (dg > 0) or downdate (dg < 0).
+			s := math.Sqrt(math.Abs(dg))
+			w := a.w
+			for j := range w {
+				w[j] = 0
+			}
+			if sl.fa >= 0 {
+				w[sl.fa] = s
+			}
+			if sl.fb >= 0 {
+				w[sl.fb] = -s
+			}
+			if dg > 0 {
+				a.chol.Update(w)
+			} else if err := a.chol.Downdate(w); err != nil {
+				// Cancellation broke the downdate; the CSR values are always
+				// correct, so refactor from them at the next solve.
+				a.needRefactor = true
+			}
+		}
+		return
+	}
+	if upd, ok := c.precond.(solver.Updatable); ok {
+		// Updatable preconditioners absorb the touched diagonals in O(1)
+		// and stay exactly current.
+		okA := sl.fa < 0 || upd.UpdateDiag(sl.fa, a.mat.ValueAt(sl.aa))
+		okB := sl.fb < 0 || upd.UpdateDiag(sl.fb, a.mat.ValueAt(sl.bb))
+		if okA && okB {
+			c.precondGen = a.gen
+			c.editsSinceRefresh = 0
+		} else {
+			c.precond = nil
+		}
+	}
+}
+
 // SetResistor replaces the value of resistor i (netlist order), re-enabling
 // it if it was disabled.
 func (c *Circuit) SetResistor(i int, ohms float64) error {
@@ -132,23 +436,80 @@ func (c *Circuit) SetResistor(i int, ohms float64) error {
 	if ohms <= 0 {
 		return fmt.Errorf("spice: resistor %s set to non-positive %g Ω", c.res[i].name, ohms)
 	}
-	c.res[i].cond = 1 / ohms
+	g := 1 / ohms
+	old := 0.0
+	if !c.res[i].disabled {
+		old = c.res[i].cond
+	}
+	c.res[i].cond = g
 	c.res[i].disabled = false
+	c.editResistor(i, g-old)
 	return nil
 }
 
 // DisableResistor removes resistor i from the network (an open-circuit EM
-// failure).
+// failure). The resistor keeps its value for a later SetResistor restore.
 func (c *Circuit) DisableResistor(i int) error {
 	if i < 0 || i >= len(c.res) {
 		return fmt.Errorf("spice: resistor index %d out of range", i)
 	}
-	c.res[i].disabled = true
+	if !c.res[i].disabled {
+		c.res[i].disabled = true
+		c.editResistor(i, -c.res[i].cond)
+	}
 	return nil
 }
 
 // ResistorDisabled reports whether resistor i is currently open.
 func (c *Circuit) ResistorDisabled(i int) bool { return c.res[i].disabled }
+
+// ResetResistors restores every resistor — value and enabled state — to the
+// snapshot taken when the solve pattern was compiled (for a circuit solved
+// straight after Compile, the netlist values), together with the matching
+// matrix values, RHS, cached factor, and preconditioner. It is the O(nnz)
+// bulk alternative to replaying SetResistor calls and leaves the circuit in
+// a canonical bit-reproducible state, which is what keeps parallel
+// Monte-Carlo trials identical to serial ones. Before the first solve it is
+// a no-op, since the current state is the snapshot state.
+func (c *Circuit) ResetResistors() {
+	if c.asm == nil {
+		return
+	}
+	a := c.asm
+	copy(c.res, a.res0)
+	a.mat.SetValues(a.mat0)
+	copy(a.rhs, a.rhs0)
+	a.gen++
+	if a.direct {
+		if a.chol0 != nil {
+			// Pristine factor restored by memcpy — no refactorization.
+			a.chol.Set(a.chol0)
+			a.needRefactor = false
+		} else if err := c.ensureFactor(); err != nil {
+			// Matrix values are pristine, so a factorization failure here
+			// means the direct path cannot work at all; fall back to CG.
+			a.direct = false
+		} else {
+			// First trial reset: mat holds pristine values, so the factor
+			// just built is the pristine one — snapshot it for later resets.
+			a.chol0 = a.chol.Clone()
+		}
+		return
+	}
+	if c.precond != nil {
+		// Put the preconditioner into its canonical pristine-matrix state so
+		// trial results do not depend on the refresh history of earlier
+		// trials on this circuit.
+		if rf, ok := c.precond.(solver.Refreshable); ok {
+			if err := rf.Refresh(a.mat); err != nil {
+				c.precond = solver.NewAutoPreconditioner(a.mat)
+			}
+		}
+		c.precondGen = a.gen
+		c.editsSinceRefresh = 0
+		c.precondIters = -1
+	}
+}
 
 // OP is a DC operating point.
 type OP struct {
@@ -157,122 +518,160 @@ type OP struct {
 	stats solver.Stats
 }
 
-// SolveDC computes the operating point. prev, when non-nil, warm-starts the
-// iterative solve from an earlier operating point of the same circuit —
-// after a single failure the solution moves little, so this typically cuts
-// iterations substantially.
+// NewOP returns an empty operating point sized for this circuit, for use as
+// a reusable SolveDCInto destination.
+func (c *Circuit) NewOP() *OP {
+	return &OP{c: c, volts: make([]float64, len(c.names))}
+}
+
+// SolveDC computes the operating point into a fresh OP. prev, when non-nil,
+// warm-starts the iterative solve from an earlier operating point of the
+// same circuit — after a single failure the solution moves little, so this
+// typically cuts iterations substantially.
 func (c *Circuit) SolveDC(prev *OP) (*OP, error) {
-	n := c.nFree
-	if n == 0 {
+	op := &OP{}
+	if err := c.SolveDCInto(op, prev); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// SolveDCInto computes the operating point into dst, reusing its buffers.
+// Together with the compiled fixed-pattern assembly this makes repeated
+// re-solves after resistor edits allocation-free. prev, when non-nil,
+// warm-starts the iterative path and must not be dst itself.
+func (c *Circuit) SolveDCInto(dst, prev *OP) error {
+	if dst == nil {
+		return fmt.Errorf("spice: SolveDCInto needs a destination OP")
+	}
+	if dst == prev {
+		return fmt.Errorf("spice: SolveDCInto destination must differ from the warm-start OP")
+	}
+	dst.c = c
+	if len(dst.volts) != len(c.names) {
+		dst.volts = make([]float64, len(c.names))
+	}
+	dst.stats = solver.Stats{}
+	if c.nFree == 0 {
 		// Everything pinned: trivial.
-		volts := make([]float64, len(c.names))
-		copy(volts, c.fixed)
-		return &OP{c: c, volts: volts}, nil
+		copy(dst.volts, c.fixed)
+		return nil
 	}
-	tr := sparse.NewTriplet(n, n, len(c.res)*4+n)
-	rhs := make([]float64, n)
+	if c.asm == nil {
+		c.compile()
+	}
+	a := c.asm
+	n := c.nFree
 
-	for i := 0; i < len(c.names); i++ {
-		if fi := c.freeIdx[i]; fi >= 0 {
-			tr.Add(fi, fi, c.gmin)
+	// The direct path engages only once there is re-solve activity (an edit
+	// or a reset): a one-shot cold solve stays on CG and never pays the
+	// O(n³) factorization.
+	useDirect := a.direct && (a.chol != nil || a.gen > 0)
+	if useDirect && (a.chol == nil || a.needRefactor) {
+		if err := c.ensureFactor(); err != nil {
+			// The dense factorization failed; fall back to CG permanently.
+			a.direct = false
+			useDirect = false
 		}
 	}
-	for _, r := range c.res {
-		if r.disabled {
-			continue
+	if useDirect {
+		a.work.Reserve(n)
+		if err := a.chol.SolveInto(a.work.X, a.rhs); err != nil {
+			return fmt.Errorf("spice: DC solve: %w", err)
 		}
-		c.stampConductance(tr, rhs, r.a, r.b, r.cond)
-	}
-	for _, s := range c.cur {
-		// Current flows a→b through the source: out of node a, into node b.
-		if s.a >= 0 {
-			if fi := c.freeIdx[s.a]; fi >= 0 {
-				rhs[fi] -= s.amps
-			}
-		}
-		if s.b >= 0 {
-			if fi := c.freeIdx[s.b]; fi >= 0 {
-				rhs[fi] += s.amps
-			}
-		}
+		c.scatter(dst, a.work.X)
+		return nil
 	}
 
-	a := tr.ToCSR()
 	var x0 []float64
 	if prev != nil && prev.c == c {
-		x0 = make([]float64, n)
-		for i := 0; i < len(c.names); i++ {
+		x0 = a.x0
+		for i := range c.names {
 			if fi := c.freeIdx[i]; fi >= 0 {
 				x0[fi] = prev.volts[i]
 			}
 		}
 	}
-	if c.precond == nil {
-		c.precond = solver.NewAutoPreconditioner(a)
-		c.precondIters = -1
+	tol := c.Tol
+	if tol == 0 {
+		tol = defaultTol
 	}
-	x, st, err := solver.CG(a, rhs, solver.Options{
-		Tol: 1e-7,
-		M:   c.precond,
-		X0:  x0,
-	})
-	if err != nil {
-		// The cached preconditioner may be stale after many topology
-		// changes; rebuild once and retry before giving up.
-		c.precond = solver.NewAutoPreconditioner(a)
+	if c.precond == nil {
+		c.precond = solver.NewAutoPreconditioner(a.mat)
 		c.precondIters = -1
-		x, st, err = solver.CG(a, rhs, solver.Options{Tol: 1e-7, M: c.precond, X0: x0})
+		c.precondGen = a.gen
+		c.editsSinceRefresh = 0
+	}
+	// Staleness policy: the generation counter tells how far the
+	// preconditioner lags the matrix. Within the edit budget the stale
+	// factor is reused deliberately; past it, refresh in place.
+	if c.precondGen != a.gen && c.editsSinceRefresh >= precondRefreshEdits {
+		c.refreshPrecond()
+	}
+	x, st, err := solver.CG(a.mat, a.rhs, solver.Options{Tol: tol, M: c.precond, X0: x0, Work: &a.work})
+	if err != nil {
+		// The preconditioner may be broken (e.g. a failed in-place refresh);
+		// rebuild from scratch once and retry before giving up.
+		c.precond = solver.NewAutoPreconditioner(a.mat)
+		c.precondIters = -1
+		c.precondGen = a.gen
+		c.editsSinceRefresh = 0
+		x, st, err = solver.CG(a.mat, a.rhs, solver.Options{Tol: tol, M: c.precond, X0: x0, Work: &a.work})
 		if err != nil {
-			return nil, fmt.Errorf("spice: DC solve: %w", err)
+			return fmt.Errorf("spice: DC solve: %w", err)
 		}
 	}
 	if c.precondIters < 0 {
 		c.precondIters = st.Iterations
 	} else if st.Iterations > 8*(c.precondIters+4) {
-		// Convergence has degraded well past the fresh-factor baseline:
-		// drop the cache so the next solve refactors.
-		c.precond = nil
+		// Convergence drifted well past the fresh-factor baseline even
+		// inside the edit budget: refresh now so the next solve recovers.
+		c.refreshPrecond()
 	}
-	volts := make([]float64, len(c.names))
-	for i := range c.names {
-		if fi := c.freeIdx[i]; fi >= 0 {
-			volts[i] = x[fi]
-		} else {
-			volts[i] = c.fixed[i]
-		}
-	}
-	return &OP{c: c, volts: volts, stats: st}, nil
+	dst.stats = st
+	c.scatter(dst, x)
+	return nil
 }
 
-// stampConductance stamps a conductance between nodes a and b (-1 = ground)
-// into the free-node system, moving pad terms to the RHS.
-func (c *Circuit) stampConductance(tr *sparse.Triplet, rhs []float64, a, b int, g float64) {
-	var fa, fb = -1, -1
-	var va, vb float64
-	if a >= 0 {
-		fa = c.freeIdx[a]
-		va = c.fixed[a]
+// ensureFactor builds (or rebuilds, after a downdate breakdown) the cached
+// dense factor from the current matrix values.
+func (c *Circuit) ensureFactor() error {
+	a := c.asm
+	if a.chol == nil {
+		chol, err := solver.NewDenseCholeskyFromCSR(a.mat)
+		if err != nil {
+			return err
+		}
+		a.chol = chol
+	} else if err := a.chol.RefactorFromCSR(a.mat); err != nil {
+		return err
 	}
-	if b >= 0 {
-		fb = c.freeIdx[b]
-		vb = c.fixed[b]
+	a.needRefactor = false
+	return nil
+}
+
+// refreshPrecond brings the cached preconditioner up to date with the
+// current matrix, in place when it supports that, and resets the staleness
+// accounting and the iteration baseline.
+func (c *Circuit) refreshPrecond() {
+	a := c.asm
+	if rf, ok := c.precond.(solver.Refreshable); ok {
+		if err := rf.Refresh(a.mat); err != nil {
+			c.precond = solver.NewAutoPreconditioner(a.mat)
+		}
 	}
-	if fa >= 0 {
-		tr.Add(fa, fa, g)
-		switch {
-		case fb >= 0:
-			tr.Add(fa, fb, -g)
-		case b >= 0: // pad
-			rhs[fa] += g * vb
-		} // ground contributes nothing to rhs
-	}
-	if fb >= 0 {
-		tr.Add(fb, fb, g)
-		switch {
-		case fa >= 0:
-			tr.Add(fb, fa, -g)
-		case a >= 0: // pad
-			rhs[fb] += g * va
+	c.precondGen = a.gen
+	c.editsSinceRefresh = 0
+	c.precondIters = -1
+}
+
+// scatter expands the free-node solution x into per-node voltages.
+func (c *Circuit) scatter(op *OP, x []float64) {
+	for i := range c.names {
+		if fi := c.freeIdx[i]; fi >= 0 {
+			op.volts[i] = x[fi]
+		} else {
+			op.volts[i] = c.fixed[i]
 		}
 	}
 }
@@ -289,7 +688,8 @@ func (op *OP) Voltage(name string) (float64, error) {
 // VoltageAt returns the voltage of node i.
 func (op *OP) VoltageAt(i int) float64 { return op.volts[i] }
 
-// Stats reports the iterative-solver statistics of the solve.
+// Stats reports the iterative-solver statistics of the solve (zero for the
+// direct dense path, which is exact).
 func (op *OP) Stats() solver.Stats { return op.stats }
 
 // ResistorCurrent returns the current (A) through resistor i, positive from

@@ -1,0 +1,48 @@
+#!/bin/sh
+# bench_snapshot.sh — run the paper-figure benchmarks and write a JSON
+# snapshot of ns/op, B/op and allocs/op per benchmark.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+#
+# The snapshot protocol is fixed (-benchtime=100x, -count=1, -benchmem) so
+# numbers recorded across commits — e.g. the baseline/current sections of
+# BENCH_1.json — are comparable. Parsing keys on the unit tokens, not field
+# positions, because some benchmarks report extra custom metrics.
+set -eu
+out="${1:-BENCH_snapshot.json}"
+cd "$(dirname "$0")/.."
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve' \
+    -benchmem -benchtime=100x -count=1 . | tee "$tmp"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+    printf '  "cpu": "%s",\n' "$(awk -F: '/^cpu:/ {sub(/^[ \t]+/, "", $2); print $2; exit}' "$tmp")"
+    printf '  "protocol": "go test -run ^$ -bench BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve -benchmem -benchtime=100x -count=1 .",\n'
+    printf '  "benchmarks": {\n'
+    awk '/^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        sub(/^Benchmark/, "", name)
+        gsub(/\//, "_", name)
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 3; i <= NF; i++) {
+            if ($i == "ns/op") ns = $(i-1)
+            else if ($i == "B/op") bytes = $(i-1)
+            else if ($i == "allocs/op") allocs = $(i-1)
+        }
+        lines[++n] = sprintf("    \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                             name, $2, ns, bytes, allocs)
+    }
+    END {
+        for (i = 1; i <= n; i++)
+            printf "%s%s\n", lines[i], (i < n ? "," : "")
+    }' "$tmp"
+    printf '  }\n'
+    printf '}\n'
+} > "$out"
+echo "wrote $out"
