@@ -8,16 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: static analysis plus the race detector over the two
-# packages whose parallel Monte-Carlo loops share solver state.
+# check is the CI gate: static analysis plus the race detector over every
+# package with parallel execution — the Monte-Carlo loops sharing solver
+# state and the parallel FEA pipeline (pool, assembly, CG kernels, caches).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/mc ./internal/pdn
+	$(GO) test -race ./internal/mc ./internal/pdn ./internal/par ./internal/fem \
+	    ./internal/solver ./internal/sparse ./internal/core ./internal/spice
 
 # bench runs the paper-figure benchmarks with the fixed snapshot protocol
-# (see scripts/bench_snapshot.sh and BENCH_1.json).
+# (see scripts/bench_snapshot.sh and BENCH_1.json / BENCH_2.json).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve' \
+	$(GO) test -run '^$$' \
+	    -bench 'BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve|BenchmarkFig1StressProfile|BenchmarkFig6Patterns|BenchmarkFig7ArraySize|BenchmarkFEAWorkers|BenchmarkStressCacheWarm' \
 	    -benchmem -benchtime=100x -count=1 .
 
 bench-snapshot:

@@ -6,7 +6,9 @@
 package emvia_test
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"emvia/internal/baseline"
@@ -122,6 +124,68 @@ func BenchmarkFig7ArraySize(b *testing.B) {
 		innerDelta = (inner[0] - inner[1]) / phys.MPa
 	}
 	b.ReportMetric(innerDelta, "MPa-inner-gain")
+}
+
+// BenchmarkFEAWorkers measures worker-count scaling of one 4×4-array FEA
+// characterization (assembly + CG + stress recovery). The paper metric is
+// bit-identical across sub-benchmarks by the deterministic-kernel design, so
+// only the wall clock may move.
+func BenchmarkFEAWorkers(b *testing.B) {
+	a := benchAnalyzer()
+	nmax := runtime.GOMAXPROCS(0)
+	seen := make(map[int]bool)
+	for _, w := range []int{1, 2, 4, nmax} {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			opt := a.FEA
+			opt.Workers = w
+			var peak float64
+			for i := 0; i < b.N; i++ {
+				p := a.Base
+				p.ArrayN = 4
+				p.Pattern = cudd.Plus
+				res, err := cudd.Characterize(p, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = res.MaxPeak() / phys.MPa
+			}
+			b.ReportMetric(peak, "MPa-peak")
+		})
+	}
+}
+
+// BenchmarkStressCacheWarm measures StressFor against a warm persistent
+// cache: every iteration uses a fresh analyzer (empty in-memory map), so the
+// per-via stress matrix comes entirely from disk and no FEA runs.
+func BenchmarkStressCacheWarm(b *testing.B) {
+	dir := b.TempDir()
+	warm := benchAnalyzer()
+	if err := warm.EnableStressCache(dir); err != nil {
+		b.Fatal(err)
+	}
+	ref, err := warm.StressFor(cudd.Plus, warm.Base.LayerPair, 4, warm.Base.WireWidth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := benchAnalyzer()
+		if err := a.EnableStressCache(dir); err != nil {
+			b.Fatal(err)
+		}
+		s, err := a.StressFor(cudd.Plus, a.Base.LayerPair, 4, a.Base.WireWidth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s[2][2] != ref[2][2] {
+			b.Fatalf("disk round-trip changed sigma: %g != %g", s[2][2], ref[2][2])
+		}
+	}
 }
 
 // arrayChar runs a via-array characterization at benchmark scale.

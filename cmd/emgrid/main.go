@@ -105,6 +105,25 @@ Global flags (before the subcommand):
 Run 'emgrid <subcommand> -h' for flags.`)
 }
 
+// femFlags registers the FEA tuning flags shared by every subcommand that
+// runs stress characterization, and returns a hook applying them to the
+// analyzer after flag parsing.
+func femFlags(fs *flag.FlagSet) func(a *core.Analyzer) error {
+	j := fs.Int("j", 0, "FEA worker goroutines, 0 = GOMAXPROCS (results are bit-identical for any value)")
+	cache := fs.String("stresscache", "", `persistent stress cache: a directory, or "auto" for the default location (EMVIA_STRESS_CACHE or the user cache dir)`)
+	return func(a *core.Analyzer) error {
+		a.FEA.Workers = *j
+		if *cache == "" {
+			return nil
+		}
+		dir := *cache
+		if dir == "auto" {
+			dir = "" // let core resolve the env/user-cache default
+		}
+		return a.EnableStressCache(dir)
+	}
+}
+
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	name := fs.String("name", "PG1", "grid name: PG1, PG2, PG5, or custom")
@@ -248,6 +267,7 @@ func cmdCharacterize(args []string) error {
 	widths := fs.String("widths", "2u,2.5u,3u", "wire widths with SPICE suffixes, comma-separated")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	fast := fs.Bool("fast", false, "coarse FEA meshes")
+	fem := femFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -263,6 +283,9 @@ func cmdCharacterize(args []string) error {
 	if *fast {
 		a.Base.Margin = 1.0 * phys.Micron
 		a.Base.StepOutside = 0.5 * phys.Micron
+	}
+	if err := fem(a); err != nil {
+		return fmt.Errorf("characterize: %w", err)
 	}
 	table, err := a.BuildStressTable(ns, ws, func(k chartable.Key, w float64) {
 		fmt.Fprintf(os.Stderr, "FEA %v at width %.2g um\n", k, w/phys.Micron)
@@ -304,6 +327,7 @@ func cmdCharModels(args []string) error {
 	seed := fs.Int64("seed", 2017, "random seed")
 	out := fs.String("out", "", "output JSON path (default stdout)")
 	fast := fs.Bool("fast", false, "coarse FEA meshes")
+	fem := femFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -319,6 +343,9 @@ func cmdCharModels(args []string) error {
 	if *fast {
 		a.Base.Margin = 1.0 * phys.Micron
 		a.Base.StepOutside = 0.5 * phys.Micron
+	}
+	if err := fem(a); err != nil {
+		return fmt.Errorf("charmodels: %w", err)
 	}
 	models, err := a.ViaArrayModels(*arrayN, w, 1e10, ac, *trials, *seed)
 	if err != nil {
@@ -360,6 +387,7 @@ func cmdAnalyze(args []string) error {
 	trials := fs.Int("trials", 500, "Monte-Carlo trials (both levels)")
 	seed := fs.Int64("seed", 2017, "random seed")
 	fast := fs.Bool("fast", false, "coarse FEA meshes")
+	fem := femFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -396,6 +424,9 @@ func cmdAnalyze(args []string) error {
 	if *fast {
 		a.Base.Margin = 1.0 * phys.Micron
 		a.Base.StepOutside = 0.5 * phys.Micron
+	}
+	if err := fem(a); err != nil {
+		return fmt.Errorf("analyze: %w", err)
 	}
 	analysis := core.GridAnalysis{
 		Grid:            g,
@@ -577,6 +608,7 @@ func cmdOptimize(args []string) error {
 	trials := fs.Int("trials", 500, "Monte-Carlo trials per candidate")
 	seed := fs.Int64("seed", 2017, "random seed")
 	fast := fs.Bool("fast", false, "coarse FEA meshes")
+	fem := femFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -607,6 +639,9 @@ func cmdOptimize(args []string) error {
 	if *fast {
 		a.Base.Margin = 1.0 * phys.Micron
 		a.Base.StepOutside = 0.5 * phys.Micron
+	}
+	if err := fem(a); err != nil {
+		return fmt.Errorf("optimize: %w", err)
 	}
 	choices, best, err := a.OptimizeArray(core.OptimizeArraySpec{
 		Pattern:    pat,

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	emsweep [-delta 0.1] [-trials 400] [-array 4] [-fast]
+//	emsweep [-delta 0.1] [-trials 400] [-array 4] [-fast] [-conc N] [-j N] [-stresscache DIR]
 package main
 
 import (
@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 
 	"emvia/internal/core"
 	"emvia/internal/cudd"
@@ -59,6 +61,9 @@ func main() {
 	arrayN := flag.Int("array", 4, "via-array configuration n (n×n)")
 	fast := flag.Bool("fast", false, "coarse FEA meshes")
 	seed := flag.Int64("seed", 2017, "random seed")
+	workers := flag.Int("j", 0, "FEA worker goroutines, 0 = GOMAXPROCS (results are bit-identical for any value)")
+	stressCache := flag.String("stresscache", "", `persistent stress cache: a directory, or "auto" for the default location (EMVIA_STRESS_CACHE or the user cache dir)`)
+	conc := flag.Int("conc", 0, "knobs evaluated concurrently (0 = GOMAXPROCS)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -82,6 +87,16 @@ func main() {
 			a.Base.Margin = 1.0 * phys.Micron
 			a.Base.StepOutside = 0.5 * phys.Micron
 			a.Base.StepZBulk = 1.0 * phys.Micron
+		}
+		a.FEA.Workers = *workers
+		if *stressCache != "" {
+			dir := *stressCache
+			if dir == "auto" {
+				dir = "" // core resolves the env/user-cache default
+			}
+			if err := a.EnableStressCache(dir); err != nil {
+				fatal("emsweep: %v\n", err)
+			}
 		}
 		return a
 	}
@@ -110,29 +125,53 @@ func main() {
 		lowMed, hiMed  float64
 		swingMedianPct float64
 	}
-	var rows []row
-	for _, k := range knobs() {
-		var med [2]float64
-		ok := true
-		for s, f := range []float64{1 - *delta, 1 + *delta} {
-			a := mkAnalyzer()
-			k.apply(a, f)
-			m, _, err := eval(a)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "emsweep: %s ×%.2f: %v (skipped)\n", k.name, f, err)
-				ok = false
-				break
+	// Knobs are independent — every evaluation builds its own analyzer — so
+	// they run concurrently under a worker cap. Results and skip diagnostics
+	// are collected per index and emitted in knob order, keeping the output
+	// identical to a serial sweep.
+	ks := knobs()
+	type knobResult struct {
+		med  [2]float64
+		skip string
+	}
+	results := make([]knobResult, len(ks))
+	nconc := *conc
+	if nconc <= 0 {
+		nconc = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, nconc)
+	var wg sync.WaitGroup
+	for i, k := range ks {
+		wg.Add(1)
+		go func(i int, k knob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for s, f := range []float64{1 - *delta, 1 + *delta} {
+				a := mkAnalyzer()
+				k.apply(a, f)
+				m, _, err := eval(a)
+				if err != nil {
+					results[i].skip = fmt.Sprintf("emsweep: %s ×%.2f: %v (skipped)", k.name, f, err)
+					return
+				}
+				results[i].med[s] = m
 			}
-			med[s] = m
-		}
-		if !ok {
+		}(i, k)
+	}
+	wg.Wait()
+	var rows []row
+	for i, k := range ks {
+		r := results[i]
+		if r.skip != "" {
+			fmt.Fprintln(os.Stderr, r.skip)
 			continue
 		}
 		rows = append(rows, row{
 			name:           k.name,
-			lowMed:         med[0],
-			hiMed:          med[1],
-			swingMedianPct: 100 * math.Abs(med[1]-med[0]) / baseMed,
+			lowMed:         r.med[0],
+			hiMed:          r.med[1],
+			swingMedianPct: 100 * math.Abs(r.med[1]-r.med[0]) / baseMed,
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].swingMedianPct > rows[j].swingMedianPct })

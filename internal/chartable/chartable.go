@@ -178,6 +178,11 @@ type BuildSpec struct {
 	Solve fem.SolveOptions
 	// Progress, when non-nil, is called before each FEA run.
 	Progress func(k Key, width float64)
+	// Characterize, when non-nil, replaces cudd.Characterize as the stress
+	// producer for each run. Callers use it to route solves through a
+	// persistent cache; it must return the per-via peak σ_T matrix that
+	// cudd.Characterize would produce for the same params.
+	Characterize func(p cudd.Params, opt fem.SolveOptions) ([][]float64, error)
 }
 
 // Build runs the full FEA campaign of the spec and returns the populated
@@ -187,6 +192,16 @@ type BuildSpec struct {
 func Build(spec BuildSpec) (*Table, error) {
 	if len(spec.LayerPairs) == 0 || len(spec.Patterns) == 0 || len(spec.ArrayNs) == 0 || len(spec.WireWidths) == 0 {
 		return nil, fmt.Errorf("chartable: empty build spec axis")
+	}
+	characterize := spec.Characterize
+	if characterize == nil {
+		characterize = func(p cudd.Params, opt fem.SolveOptions) ([][]float64, error) {
+			res, err := cudd.Characterize(p, opt)
+			if err != nil {
+				return nil, err
+			}
+			return res.PeakSigmaT, nil
+		}
 	}
 	t := New()
 	for _, lp := range spec.LayerPairs {
@@ -202,11 +217,11 @@ func Build(spec BuildSpec) (*Table, error) {
 					p.Pattern = pat
 					p.ArrayN = n
 					p.WireWidth = w
-					res, err := cudd.Characterize(p, spec.Solve)
+					sigma, err := characterize(p, spec.Solve)
 					if err != nil {
 						return nil, fmt.Errorf("chartable: characterizing %v at width %g: %w", k, w, err)
 					}
-					if err := t.Add(Entry{Key: k, WireWidth: w, Sigma: res.PeakSigmaT}); err != nil {
+					if err := t.Add(Entry{Key: k, WireWidth: w, Sigma: sigma}); err != nil {
 						return nil, err
 					}
 				}

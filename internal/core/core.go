@@ -45,6 +45,12 @@ type Analyzer struct {
 	// per-via σ_T. The paper treats it as an input to the method (§2.3);
 	// it depends on die position, not interconnect geometry.
 	PackageStress float64
+	// Disk, when non-nil, persists FEA characterizations across processes
+	// underneath the in-memory cache (see StressCache and
+	// EnableStressCache). Like PackageStress, it stores the geometry-only
+	// stress. Disk writes are best-effort: a failed write never fails the
+	// analysis.
+	Disk *StressCache
 
 	mu    sync.Mutex
 	cache map[stressKey][][]float64
@@ -105,11 +111,11 @@ func (a *Analyzer) StressFor(pattern cudd.Pattern, pair cudd.LayerPair, arrayN i
 		p.LayerPair = pair
 		p.ArrayN = arrayN
 		p.WireWidth = width
-		res, err := cudd.Characterize(p, a.FEA)
+		var err error
+		s, err = a.characterizeSigma(p)
 		if err != nil {
 			return nil, err
 		}
-		s = res.PeakSigmaT
 		a.mu.Lock()
 		a.cache[key] = s
 		a.mu.Unlock()
@@ -127,8 +133,43 @@ func (a *Analyzer) StressFor(pattern cudd.Pattern, pair cudd.LayerPair, arrayN i
 	return out, nil
 }
 
+// EnableStressCache attaches a persistent stress cache rooted at dir (empty
+// selects EMVIA_STRESS_CACHE or the user cache directory) so later runs with
+// the same technology skip the FEA solves entirely.
+func (a *Analyzer) EnableStressCache(dir string) error {
+	c, err := OpenStressCache(dir)
+	if err != nil {
+		return err
+	}
+	a.Disk = c
+	return nil
+}
+
+// characterizeSigma produces the geometry-only per-via stress matrix for
+// fully overridden params, consulting the persistent cache when enabled.
+func (a *Analyzer) characterizeSigma(p cudd.Params) ([][]float64, error) {
+	var diskKey string
+	if a.Disk != nil {
+		diskKey = a.Disk.Key(p, a.FEA)
+		if s, ok := a.Disk.Get(diskKey); ok {
+			return s, nil
+		}
+	}
+	res, err := cudd.Characterize(p, a.FEA)
+	if err != nil {
+		return nil, err
+	}
+	if a.Disk != nil {
+		// Best-effort: an unwritable cache directory must not fail the
+		// analysis, only forfeit reuse.
+		_ = a.Disk.Put(diskKey, res.PeakSigmaT)
+	}
+	return res.PeakSigmaT, nil
+}
+
 // BuildStressTable runs the full §3.2 characterization campaign
-// (9 × patterns × widths × configurations) into a persistent table.
+// (9 × patterns × widths × configurations) into a persistent table, routing
+// every solve through the persistent stress cache when one is enabled.
 func (a *Analyzer) BuildStressTable(arrayNs []int, widths []float64, progress func(chartable.Key, float64)) (*chartable.Table, error) {
 	return chartable.Build(chartable.BuildSpec{
 		LayerPairs: cudd.LayerPairs(),
@@ -138,6 +179,9 @@ func (a *Analyzer) BuildStressTable(arrayNs []int, widths []float64, progress fu
 		Base:       a.Base,
 		Solve:      a.FEA,
 		Progress:   progress,
+		Characterize: func(p cudd.Params, _ fem.SolveOptions) ([][]float64, error) {
+			return a.characterizeSigma(p)
+		},
 	})
 }
 

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"emvia/internal/cudd"
+	"emvia/internal/fem"
+	"emvia/internal/mat"
+)
+
+// StressCache is the persistent on-disk layer under the Analyzer's in-memory
+// stress map: one JSON file per FEA characterization, addressed by a content
+// hash of everything the result depends on — the full structure parameters
+// (geometry, temperatures, mesh steps), the material table and the solver
+// settings that affect the converged solution. Repeated CLI invocations with
+// the same technology therefore skip the FEA entirely.
+//
+// Writes go through a temp file in the cache directory followed by an atomic
+// rename, so concurrent writers (or a crash mid-write) can never leave a
+// partially written entry: readers see either the old file, the new file or
+// no file. Unreadable, truncated or version-mismatched entries are treated
+// as misses and rewritten after recompute.
+type StressCache struct {
+	dir string
+}
+
+// stressCacheVersion is bumped whenever the FEA discretization or the entry
+// format changes meaning; old entries then miss and are recomputed.
+const stressCacheVersion = 1
+
+// stressCacheEntry is the on-disk format (cf. viaarray/serialize.go).
+type stressCacheEntry struct {
+	Version    int         `json:"version"`
+	Key        string      `json:"key"`
+	PeakSigmaT [][]float64 `json:"peak_sigma_t_pa"`
+}
+
+// stressCacheKeyPayload is the canonical content hashed into a cache key.
+// Field order is fixed and maps marshal with sorted keys, so the encoding is
+// deterministic. Workers is deliberately absent: worker count never changes
+// the result (bit-identical parallel kernels).
+type stressCacheKeyPayload struct {
+	Version   int                    `json:"version"`
+	Params    cudd.Params            `json:"params"`
+	Tol       float64                `json:"tol"`
+	MaxIter   int                    `json:"max_iter"`
+	Precond   string                 `json:"precond"`
+	Materials map[mat.ID]mat.Elastic `json:"materials"`
+}
+
+// ResolveStressCacheDir picks the cache directory: an explicit dir wins,
+// then the EMVIA_STRESS_CACHE environment variable, then
+// os.UserCacheDir()/emvia/stress.
+func ResolveStressCacheDir(dir string) string {
+	if dir != "" {
+		return dir
+	}
+	if env := os.Getenv("EMVIA_STRESS_CACHE"); env != "" {
+		return env
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ".emvia-stress-cache"
+	}
+	return filepath.Join(base, "emvia", "stress")
+}
+
+// OpenStressCache creates (if needed) and opens a cache rooted at dir; empty
+// dir resolves via ResolveStressCacheDir.
+func OpenStressCache(dir string) (*StressCache, error) {
+	dir = ResolveStressCacheDir(dir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: stress cache dir: %w", err)
+	}
+	return &StressCache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *StressCache) Dir() string { return c.dir }
+
+// Key derives the content-addressed cache key for one characterization.
+func (c *StressCache) Key(p cudd.Params, opt fem.SolveOptions) string {
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-8 // fem.Solve's default
+	}
+	precond := opt.Precond
+	if precond == "" {
+		precond = "auto"
+	}
+	payload := stressCacheKeyPayload{
+		Version:   stressCacheVersion,
+		Params:    p,
+		Tol:       tol,
+		MaxIter:   opt.MaxIter,
+		Precond:   precond,
+		Materials: mat.Table1,
+	}
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		// Params and the material table are plain value structs; this
+		// cannot fail for well-formed inputs.
+		panic(fmt.Sprintf("core: stress cache key encoding: %v", err))
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}
+
+func (c *StressCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads the entry for key. Any read, decode, version or key mismatch is
+// reported as a miss — the caller recomputes and rewrites.
+func (c *StressCache) Get(key string) ([][]float64, bool) {
+	buf, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e stressCacheEntry
+	if err := json.Unmarshal(buf, &e); err != nil {
+		return nil, false
+	}
+	if e.Version != stressCacheVersion || e.Key != key || len(e.PeakSigmaT) == 0 {
+		return nil, false
+	}
+	for _, row := range e.PeakSigmaT {
+		if len(row) != len(e.PeakSigmaT) {
+			return nil, false
+		}
+	}
+	return e.PeakSigmaT, true
+}
+
+// Put stores sigma under key via write-to-temp + atomic rename.
+func (c *StressCache) Put(key string, sigma [][]float64) error {
+	buf, err := json.Marshal(stressCacheEntry{
+		Version:    stressCacheVersion,
+		Key:        key,
+		PeakSigmaT: sigma,
+	})
+	if err != nil {
+		return fmt.Errorf("core: stress cache encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-"+key+"-*")
+	if err != nil {
+		return fmt.Errorf("core: stress cache write: %w", err)
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("core: stress cache write: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: stress cache rename: %w", err)
+	}
+	return nil
+}

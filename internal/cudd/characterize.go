@@ -44,6 +44,10 @@ func Characterize(p Params, opt fem.SolveOptions) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cudd: FEA for %v %d×%d: %w", p.Pattern, p.ArrayN, p.ArrayN, err)
 	}
+	// The per-via tile boxes below overlap and the row scans revisit the
+	// same cells, so recover every element-centre tensor once (in parallel)
+	// instead of per query.
+	res.PrecomputeStress(opt.Workers)
 
 	out := &Result{Params: p, FEM: res, Grid: g}
 	st := p.stack()

@@ -71,44 +71,58 @@ func bMatrix(grad [8][3]float64) [6 * 24]float64 {
 
 // elemStiffness computes the 24×24 stiffness matrix and the 24-entry thermal
 // force vector of an axis-aligned box element.
+//
+// The Bᵀ·D·B product exploits the sparsity of the isotropic case instead of
+// dense 6-length inner loops: each B column has exactly three nonzeros (one
+// normal strain, two shears), so D·B is written directly from the shape
+// gradients and each ke entry needs three multiply-adds. The thermal load
+// collapses to fe(3a+c) = (3λ+2μ)·αΔT·∂N_a/∂x_c per Gauss point because the
+// shear rows of D·ε_th vanish for an isotropic thermal strain.
 func elemStiffness(dx, dy, dz float64, p mat.Elastic, deltaT float64) (ke [24 * 24]float64, fe [24]float64) {
-	d := elastD(p)
+	lambda, mu := p.Lame()
+	lam2mu := lambda + 2*mu
 	detJw := dx * dy * dz / 8 // detJ × unit Gauss weight
-	// Thermal stress vector D·ε_th with ε_th = αΔT[1,1,1,0,0,0].
-	eth := p.CTE * deltaT
-	var dEth [6]float64
-	for i := 0; i < 6; i++ {
-		dEth[i] = (d[i*6+0] + d[i*6+1] + d[i*6+2]) * eth
-	}
+	fth := (3*lambda + 2*mu) * p.CTE * deltaT * detJw
 	for _, xi := range gauss2 {
 		for _, eta := range gauss2 {
 			for _, zeta := range gauss2 {
-				b := bMatrix(shapeGrad(dx, dy, dz, xi, eta, zeta))
-				// db = D·B (6×24)
+				grad := shapeGrad(dx, dy, dz, xi, eta, zeta)
+				// db = D·B (6×24) written from the B-column structure.
 				var db [6 * 24]float64
-				for i := 0; i < 6; i++ {
-					for j := 0; j < 24; j++ {
-						s := 0.0
-						for k := 0; k < 6; k++ {
-							s += d[i*6+k] * b[k*24+j]
-						}
-						db[i*24+j] = s
-					}
+				for b := 0; b < 8; b++ {
+					gx, gy, gz := grad[b][0], grad[b][1], grad[b][2]
+					jx := 3 * b
+					db[0*24+jx] = lam2mu * gx
+					db[1*24+jx] = lambda * gx
+					db[2*24+jx] = lambda * gx
+					db[3*24+jx] = mu * gy
+					db[5*24+jx] = mu * gz
+					db[0*24+jx+1] = lambda * gy
+					db[1*24+jx+1] = lam2mu * gy
+					db[2*24+jx+1] = lambda * gy
+					db[3*24+jx+1] = mu * gx
+					db[4*24+jx+1] = mu * gz
+					db[0*24+jx+2] = lambda * gz
+					db[1*24+jx+2] = lambda * gz
+					db[2*24+jx+2] = lam2mu * gz
+					db[4*24+jx+2] = mu * gy
+					db[5*24+jx+2] = mu * gx
 				}
-				// Ke += Bᵀ·(D·B)·detJw ; fe += Bᵀ·(D·ε_th)·detJw
-				for i := 0; i < 24; i++ {
+				// ke += Bᵀ·(D·B)·detJw, three terms per row from the same
+				// B-column structure.
+				for a := 0; a < 8; a++ {
+					gx, gy, gz := grad[a][0], grad[a][1], grad[a][2]
+					rx := 3 * a * 24
+					ry := rx + 24
+					rz := ry + 24
 					for j := 0; j < 24; j++ {
-						s := 0.0
-						for k := 0; k < 6; k++ {
-							s += b[k*24+i] * db[k*24+j]
-						}
-						ke[i*24+j] += s * detJw
+						ke[rx+j] += (gx*db[0*24+j] + gy*db[3*24+j] + gz*db[5*24+j]) * detJw
+						ke[ry+j] += (gy*db[1*24+j] + gx*db[3*24+j] + gz*db[4*24+j]) * detJw
+						ke[rz+j] += (gz*db[2*24+j] + gy*db[4*24+j] + gx*db[5*24+j]) * detJw
 					}
-					s := 0.0
-					for k := 0; k < 6; k++ {
-						s += b[k*24+i] * dEth[k]
-					}
-					fe[i] += s * detJw
+					fe[3*a] += gx * fth
+					fe[3*a+1] += gy * fth
+					fe[3*a+2] += gz * fth
 				}
 			}
 		}
@@ -116,14 +130,9 @@ func elemStiffness(dx, dy, dz float64, p mat.Elastic, deltaT float64) (ke [24 * 
 	return ke, fe
 }
 
-// elemCache memoizes element matrices by (size, material): rectilinear grids
-// repeat cell sizes heavily, so this removes nearly all element integration
-// cost.
-type elemCache struct {
-	deltaT float64
-	m      map[elemKey]*elemData
-}
-
+// elemKey identifies a distinct element integration: rectilinear grids
+// repeat (size, material) combinations heavily, so assembly integrates each
+// distinct key once (see assemble.go) instead of once per cell.
 type elemKey struct {
 	dx, dy, dz float64
 	id         mat.ID
@@ -132,19 +141,4 @@ type elemKey struct {
 type elemData struct {
 	ke [24 * 24]float64
 	fe [24]float64
-}
-
-func newElemCache(deltaT float64) *elemCache {
-	return &elemCache{deltaT: deltaT, m: make(map[elemKey]*elemData)}
-}
-
-func (c *elemCache) get(dx, dy, dz float64, id mat.ID, p mat.Elastic) (*[24 * 24]float64, *[24]float64) {
-	k := elemKey{dx, dy, dz, id}
-	if d, ok := c.m[k]; ok {
-		return &d.ke, &d.fe
-	}
-	d := &elemData{}
-	d.ke, d.fe = elemStiffness(dx, dy, dz, p, c.deltaT)
-	c.m[k] = d
-	return &d.ke, &d.fe
 }

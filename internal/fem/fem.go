@@ -19,8 +19,8 @@ import (
 
 	"emvia/internal/mat"
 	"emvia/internal/mesh"
+	"emvia/internal/par"
 	"emvia/internal/solver"
-	"emvia/internal/sparse"
 )
 
 // Face names one of the six boundary faces of the rectilinear domain.
@@ -108,6 +108,11 @@ type SolveOptions struct {
 	// Precond overrides the preconditioner choice: "auto" (default),
 	// "jacobi", "ic0" or "none". Used by the ablation benchmarks.
 	Precond string
+	// Workers sets the number of workers for assembly, the CG kernels and
+	// stress recovery. Zero or negative selects GOMAXPROCS. The result is
+	// bit-identical for every worker count: rows are owned by single
+	// workers and all reductions use fixed-order blocked partial sums.
+	Workers int
 }
 
 // Result holds the displacement solution and exposes stress recovery.
@@ -117,78 +122,25 @@ type Result struct {
 	// Stats reports the CG iteration count and final residual.
 	Stats solver.Stats
 
-	model *Model
+	model   *Model
+	workers int
+
+	// Element-centre stress cache filled by PrecomputeStress; nil until
+	// then (StressAt computes on demand in that case).
+	sig   []Tensor
+	sigOK []bool
 }
 
-// Solve assembles and solves the thermoelastic system.
+// Solve assembles and solves the thermoelastic system. Assembly, the CG
+// kernels and stress recovery run on opt.Workers workers (0 = GOMAXPROCS)
+// and produce bit-identical results for every worker count.
 func (m *Model) Solve(opt SolveOptions) (*Result, error) {
-	g := m.Grid
-	nn := g.NumNodes()
-	ndof := 3 * nn
-
-	active := m.activeNodes()
-	constrained := m.constrainedDOFs(active)
-
-	// Equation numbering over free DOFs.
-	eq := make([]int, ndof)
-	nEq := 0
-	for d := 0; d < ndof; d++ {
-		node := d / 3
-		if active[node] && !constrained[d] {
-			eq[d] = nEq
-			nEq++
-		} else {
-			eq[d] = -1
-		}
+	pool := par.New(opt.Workers)
+	asm, err := m.assemble(pool)
+	if err != nil {
+		return nil, err
 	}
-	if nEq == 0 {
-		return nil, fmt.Errorf("fem: no free degrees of freedom (empty or fully constrained model)")
-	}
-
-	nx, ny, nz := g.CellDims()
-	// Rough nnz estimate: 24 coupled DOFs per DOF.
-	tr := sparse.NewTriplet(nEq, nEq, nEq*60)
-	rhs := make([]float64, nEq)
-
-	cache := newElemCache(m.DeltaT)
-	for k := 0; k < nz; k++ {
-		for j := 0; j < ny; j++ {
-			for i := 0; i < nx; i++ {
-				id := g.Material(i, j, k)
-				if id == mat.None {
-					continue
-				}
-				props, err := mat.Properties(id)
-				if err != nil {
-					return nil, fmt.Errorf("fem: cell (%d,%d,%d): %w", i, j, k, err)
-				}
-				dx, dy, dz := g.CellSize(i, j, k)
-				ke, fe := cache.get(dx, dy, dz, id, props)
-				nodes := g.CellNodes(i, j, k)
-				var dofs [24]int
-				for a, n := range nodes {
-					dofs[3*a] = eq[3*n]
-					dofs[3*a+1] = eq[3*n+1]
-					dofs[3*a+2] = eq[3*n+2]
-				}
-				for a := 0; a < 24; a++ {
-					ra := dofs[a]
-					if ra < 0 {
-						continue
-					}
-					rhs[ra] += fe[a]
-					for b := 0; b < 24; b++ {
-						if cb := dofs[b]; cb >= 0 {
-							tr.Add(ra, cb, ke[a*24+b])
-						}
-						// Constrained DOFs have zero prescribed displacement,
-						// so no RHS correction is needed.
-					}
-				}
-			}
-		}
-	}
-	a := tr.ToCSR()
+	a, rhs, eq, nEq := asm.a, asm.rhs, asm.eq, asm.nEq
 
 	tol := opt.Tol
 	if tol == 0 {
@@ -220,18 +172,19 @@ func (m *Model) Solve(opt SolveOptions) (*Result, error) {
 		return nil, fmt.Errorf("fem: unknown preconditioner %q", opt.Precond)
 	}
 
-	x, st, err := solver.CG(a, rhs, solver.Options{Tol: tol, MaxIter: maxIter, M: pre})
+	x, st, err := solver.CG(a, rhs, solver.Options{Tol: tol, MaxIter: maxIter, M: pre, Pool: pool})
 	if err != nil {
 		return nil, fmt.Errorf("fem: linear solve: %w", err)
 	}
 
+	ndof := 3 * m.Grid.NumNodes()
 	u := make([]float64, ndof)
 	for d := 0; d < ndof; d++ {
 		if eq[d] >= 0 {
 			u[d] = x[eq[d]]
 		}
 	}
-	return &Result{U: u, Stats: st, model: m}, nil
+	return &Result{U: u, Stats: st, model: m, workers: opt.Workers}, nil
 }
 
 // activeNodes marks nodes adjacent to at least one non-None cell.

@@ -1,0 +1,128 @@
+package fem
+
+import (
+	"runtime"
+	"testing"
+
+	"emvia/internal/mat"
+	"emvia/internal/mesh"
+)
+
+// parGrid builds a heterogeneous stack (Si / Cu / SiN) with a hole carved
+// into the copper layer, so parallel assembly has to handle material
+// boundaries, excluded cells and mixed BCs — the features that could break
+// row ownership.
+func parGrid(t *testing.T) *mesh.Grid {
+	t.Helper()
+	xs := mesh.Lines([]float64{0, 1e-6}, 0.125e-6, 1e-15)
+	zs := mesh.Lines([]float64{0, 0.3e-6, 0.6e-6, 0.9e-6}, 0.1e-6, 1e-15)
+	g, err := mesh.New(xs, xs, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Paint(mesh.Box{X0: 0, X1: 1e-6, Y0: 0, Y1: 1e-6, Z0: 0, Z1: 0.3e-6}, mat.Silicon)
+	g.Paint(mesh.Box{X0: 0, X1: 1e-6, Y0: 0, Y1: 1e-6, Z0: 0.3e-6, Z1: 0.6e-6}, mat.Copper)
+	g.Paint(mesh.Box{X0: 0, X1: 1e-6, Y0: 0, Y1: 1e-6, Z0: 0.6e-6, Z1: 0.9e-6}, mat.SiN)
+	nx, ny, nz := g.CellDims()
+	g.SetMaterial(nx/2, ny/2, nz/2, mat.None)
+	return g
+}
+
+func parModel(t *testing.T) *Model {
+	m := NewModel(parGrid(t), dT)
+	m.SetFaceBC(XMin, Roller)
+	m.SetFaceBC(XMax, Roller)
+	m.SetFaceBC(YMin, Roller)
+	m.SetFaceBC(ZMin, Clamp)
+	return m
+}
+
+// TestSolveWorkersBitIdentical checks the tentpole guarantee: the parallel
+// assembly, CG kernels and stress recovery return results bit-identical to
+// the serial path for every worker count.
+func TestSolveWorkersBitIdentical(t *testing.T) {
+	m := parModel(t)
+	ref, err := m.Solve(SolveOptions{Tol: 1e-10, Workers: 1})
+	if err != nil {
+		t.Fatalf("serial Solve: %v", err)
+	}
+	ref.PrecomputeStress(1)
+
+	g := m.Grid
+	nx, ny, nz := g.CellDims()
+	for _, w := range []int{2, 7, runtime.GOMAXPROCS(0)} {
+		res, err := m.Solve(SolveOptions{Tol: 1e-10, Workers: w})
+		if err != nil {
+			t.Fatalf("Workers=%d Solve: %v", w, err)
+		}
+		if res.Stats != ref.Stats {
+			t.Errorf("Workers=%d stats %+v, serial %+v", w, res.Stats, ref.Stats)
+		}
+		for i, v := range res.U {
+			if v != ref.U[i] {
+				t.Fatalf("Workers=%d U[%d] = %g, serial %g (not bit-identical)", w, i, v, ref.U[i])
+			}
+		}
+		res.PrecomputeStress(w)
+		for k := 0; k < nz; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					sw, okw := res.StressAt(i, j, k)
+					sr, okr := ref.StressAt(i, j, k)
+					if okw != okr {
+						t.Fatalf("Workers=%d cell (%d,%d,%d) hole flag %v, serial %v", w, i, j, k, okw, okr)
+					}
+					if sw != sr {
+						t.Fatalf("Workers=%d cell (%d,%d,%d) stress %+v, serial %+v (not bit-identical)", w, i, j, k, sw, sr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrecomputeStressMatchesLazy checks the cached per-cell recovery against
+// the on-demand path bit for bit.
+func TestPrecomputeStressMatchesLazy(t *testing.T) {
+	m := parModel(t)
+	lazy, err := m.Solve(SolveOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := m.Solve(SolveOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.PrecomputeStress(runtime.GOMAXPROCS(0))
+	nx, ny, nz := m.Grid.CellDims()
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				sc, okc := cached.StressAt(i, j, k)
+				sl, okl := lazy.StressAt(i, j, k)
+				if okc != okl || sc != sl {
+					t.Fatalf("cell (%d,%d,%d): cached %+v/%v, lazy %+v/%v", i, j, k, sc, okc, sl, okl)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveWorkersDefault checks that the zero value picks GOMAXPROCS and
+// still matches an explicit one-worker run.
+func TestSolveWorkersDefault(t *testing.T) {
+	m := parModel(t)
+	ref, err := m.Solve(SolveOptions{Tol: 1e-10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(SolveOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.U {
+		if v != ref.U[i] {
+			t.Fatalf("default-workers U[%d] = %g, serial %g", i, v, ref.U[i])
+		}
+	}
+}

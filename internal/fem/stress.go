@@ -6,6 +6,7 @@ import (
 
 	"emvia/internal/mat"
 	"emvia/internal/mesh"
+	"emvia/internal/par"
 )
 
 // Tensor is a symmetric Cauchy stress tensor in Voigt layout.
@@ -32,9 +33,57 @@ func (t Tensor) VonMises() float64 {
 	return math.Sqrt(s)
 }
 
+// cellBlock is the number of cells per PrecomputeStress dispatch block.
+const cellBlock = 512
+
+// PrecomputeStress recovers and caches the element-centre stress tensor of
+// every solid cell, partitioned across workers (0 = the worker count of the
+// solve, which itself defaults to GOMAXPROCS). Each cell is computed
+// independently from the displacement field, so the cached tensors are
+// bit-identical for any worker count. Subsequent StressAt / HydrostaticAt /
+// MaxHydrostaticInBox queries read the cache, which removes the repeated
+// per-query recovery cost when scan boxes overlap.
+func (r *Result) PrecomputeStress(workers int) {
+	if r.sig != nil {
+		return
+	}
+	if workers == 0 {
+		workers = r.workers
+	}
+	g := r.model.Grid
+	nx, ny, _ := g.CellDims()
+	ncells := g.NumCells()
+	sig := make([]Tensor, ncells)
+	sigOK := make([]bool, ncells)
+	pool := par.New(workers)
+	pool.Run(par.Blocks(ncells, cellBlock), func(b int) {
+		lo := b * cellBlock
+		hi := lo + cellBlock
+		if hi > ncells {
+			hi = ncells
+		}
+		for cid := lo; cid < hi; cid++ {
+			i := cid % nx
+			j := (cid / nx) % ny
+			k := cid / (nx * ny)
+			sig[cid], sigOK[cid] = r.computeStressAt(i, j, k)
+		}
+	})
+	r.sig, r.sigOK = sig, sigOK
+}
+
 // StressAt recovers the element-centre stress of cell (i,j,k):
-// σ = D·(B·u − ε_th). ok is false for holes (mat.None).
+// σ = D·(B·u − ε_th). ok is false for holes (mat.None). After
+// PrecomputeStress it is a cache lookup.
 func (r *Result) StressAt(i, j, k int) (Tensor, bool) {
+	if r.sig != nil {
+		cid := r.model.Grid.CellID(i, j, k)
+		return r.sig[cid], r.sigOK[cid]
+	}
+	return r.computeStressAt(i, j, k)
+}
+
+func (r *Result) computeStressAt(i, j, k int) (Tensor, bool) {
 	g := r.model.Grid
 	id := g.Material(i, j, k)
 	if id == mat.None {

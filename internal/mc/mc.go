@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // System is a redundant system analyzed by Algorithm 1. Implementations are
@@ -176,45 +177,40 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 		Events:     make([][]float64, opt.Trials),
 		EventComps: make([][]int, opt.Trials),
 	}
+	// Trial dispatch is a lock-free atomic fetch-add — workers never contend
+	// on a mutex in the hot loop. Errors are confined to a sync.Once (the
+	// first one wins) plus a stop flag that drains the remaining workers.
 	var (
 		wg       sync.WaitGroup
-		mu       sync.Mutex
+		next     atomic.Int64
+		stop     atomic.Bool
+		once     sync.Once
 		firstErr error
-		next     int
 	)
+	fail := func(err error) {
+		once.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			sys, err := newSys()
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
+				fail(err)
 				return
 			}
 			rng := rand.New(rand.NewSource(trialSeed(opt.Seed, 0)))
 			var scratch trialScratch
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= opt.Trials {
-					mu.Unlock()
+			for !stop.Load() {
+				t := int(next.Add(1)) - 1
+				if t >= opt.Trials {
 					return
 				}
-				t := next
-				next++
-				mu.Unlock()
-
 				rng.Seed(trialSeed(opt.Seed, t))
 				ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("mc: trial %d: %w", t, err)
-					}
-					mu.Unlock()
+					fail(fmt.Errorf("mc: trial %d: %w", t, err))
 					return
 				}
 				res.TTF[t] = ttf
@@ -224,6 +220,7 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 		}()
 	}
 	wg.Wait()
+	// wg.Wait orders every once.Do before this read; no lock needed.
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,0 +1,85 @@
+// Package par provides the small worker-pool primitive shared by the
+// parallel FEA assembly, stress recovery and CG kernels.
+//
+// The design constraint is determinism: callers partition work into blocks
+// whose results are independent of which worker runs them (disjoint writes,
+// or per-block partial results reduced in block order afterwards), so the
+// numerical output is bit-identical for any worker count. The pool therefore
+// only provides dynamic block dispatch — never a reduction of its own.
+//
+// A nil *Pool (or worker count 1) runs every block inline on the calling
+// goroutine with no synchronization and no allocation, so serial callers pay
+// nothing for the shared code path.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-width worker pool. The zero value and nil are both valid
+// and mean "serial".
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width. workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width; nil and zero-value pools report 1.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Run invokes fn(b) for every block index b in [0, nblocks), dispatching
+// blocks dynamically across the pool's workers. fn must write only to
+// block-b-owned state; under that contract the result is identical for any
+// worker count. Run returns when every block has finished.
+func (p *Pool) Run(nblocks int, fn func(b int)) {
+	w := p.Workers()
+	if w > nblocks {
+		w = nblocks
+	}
+	if w <= 1 {
+		for b := 0; b < nblocks; b++ {
+			fn(b)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nblocks {
+					return
+				}
+				fn(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Blocks returns the number of fixed-size blocks covering n items. The block
+// size is a property of the work, not of the pool, so partial results stay
+// comparable across worker counts.
+func Blocks(n, blockSize int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + blockSize - 1) / blockSize
+}

@@ -1,0 +1,76 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", got)
+	}
+	var zero Pool
+	if got := zero.Workers(); got != 1 {
+		t.Fatalf("zero pool Workers() = %d, want 1", got)
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(-3).Workers() = %d, want GOMAXPROCS", got)
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("New(7).Workers() = %d, want 7", got)
+	}
+}
+
+func TestRunCoversEveryBlockOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16} {
+		p := New(workers)
+		const n = 1000
+		hits := make([]atomic.Int32, n)
+		p.Run(n, func(b int) { hits[b].Add(1) })
+		for b := range hits {
+			if got := hits[b].Load(); got != 1 {
+				t.Fatalf("workers=%d: block %d ran %d times, want 1", workers, b, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroAndNegativeBlocks(t *testing.T) {
+	ran := 0
+	New(4).Run(0, func(int) { ran++ })
+	New(4).Run(-5, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("fn ran %d times for empty block counts, want 0", ran)
+	}
+}
+
+func TestSerialRunAllocsNothing(t *testing.T) {
+	var p *Pool
+	sum := 0
+	fn := func(b int) { sum += b }
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Run(64, fn)
+	})
+	if allocs != 0 {
+		t.Errorf("serial Run allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	cases := []struct{ n, bs, want int }{
+		{0, 8, 0}, {-1, 8, 0}, {1, 8, 1}, {8, 8, 1}, {9, 8, 2}, {100, 7, 15},
+	}
+	for _, c := range cases {
+		if got := Blocks(c.n, c.bs); got != c.want {
+			t.Errorf("Blocks(%d,%d) = %d, want %d", c.n, c.bs, got, c.want)
+		}
+	}
+}

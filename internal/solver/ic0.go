@@ -19,6 +19,18 @@ type IC0 struct {
 	cols []int
 	vals []float64 // L stored row-wise, diagonal last in each row
 	diag []int     // index of the diagonal entry of each row within vals
+
+	// Strict upper triangle Lᵀ stored row-wise so the backward solve is a
+	// sequential row gather instead of a scattered column update. uperm maps
+	// each strict-lower slot of vals to its slot in uvals (-1 for
+	// diagonals); syncUpper refreshes uvals after each factorization.
+	uptr  []int
+	ucols []int
+	uvals []float64
+	uperm []int
+	// invDiag caches 1/L(i,i) so the substitution sweeps multiply instead
+	// of divide.
+	invDiag []float64
 }
 
 // NewIC0 computes the zero-fill incomplete Cholesky factor of SPD matrix a.
@@ -47,10 +59,60 @@ func NewIC0(a *sparse.CSR) (*IC0, error) {
 	ptr[n] = len(colsAll)
 
 	ic := &IC0{n: n, ptr: ptr, cols: colsAll, vals: valsAll, diag: diag}
+	ic.buildUpper()
 	if err := ic.factor(); err != nil {
 		return nil, err
 	}
+	ic.syncUpper()
 	return ic, nil
+}
+
+// buildUpper lays out the strict upper triangle (Lᵀ without its diagonal)
+// row-wise and records the slot permutation from the lower-triangle storage.
+func (ic *IC0) buildUpper() {
+	n := ic.n
+	uptr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		for k := ic.ptr[i]; k < ic.diag[i]; k++ {
+			uptr[ic.cols[k]+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		uptr[i+1] += uptr[i]
+	}
+	ucols := make([]int, uptr[n])
+	uperm := make([]int, len(ic.vals))
+	next := make([]int, n)
+	copy(next, uptr[:n])
+	for i := 0; i < n; i++ {
+		for k := ic.ptr[i]; k < ic.diag[i]; k++ {
+			j := ic.cols[k]
+			p := next[j]
+			ucols[p] = i
+			uperm[k] = p
+			next[j]++
+		}
+		uperm[ic.diag[i]] = -1
+	}
+	ic.uptr = uptr
+	ic.ucols = ucols
+	ic.uvals = make([]float64, uptr[n])
+	ic.uperm = uperm
+	ic.invDiag = make([]float64, n)
+}
+
+// syncUpper copies the factored strict-lower values into the row-wise upper
+// storage and refreshes the reciprocal diagonal. Allocation-free, so Refresh
+// stays usable inside hot loops.
+func (ic *IC0) syncUpper() {
+	for k, p := range ic.uperm {
+		if p >= 0 {
+			ic.uvals[p] = ic.vals[k]
+		}
+	}
+	for i := 0; i < ic.n; i++ {
+		ic.invDiag[i] = 1 / ic.vals[ic.diag[i]]
+	}
 }
 
 // factor runs the numeric IC(0) factorization in place over vals, which must
@@ -130,26 +192,43 @@ func (ic *IC0) Refresh(a *sparse.CSR) error {
 			return fmt.Errorf("solver: IC0 Refresh pattern mismatch in row %d", i)
 		}
 	}
-	return ic.factor()
+	if err := ic.factor(); err != nil {
+		return err
+	}
+	ic.syncUpper()
+	return nil
 }
 
 // Apply overwrites z with (L·Lᵀ)⁻¹·r by forward and backward substitution.
+// Both sweeps are row gathers over contiguous storage (the backward one over
+// the transposed copy maintained by syncUpper).
 func (ic *IC0) Apply(z, r []float64) {
 	// Forward solve L·y = r.
 	for i := 0; i < ic.n; i++ {
-		sum := r[i]
-		for k := ic.ptr[i]; k < ic.diag[i]; k++ {
-			sum -= ic.vals[k] * z[ic.cols[k]]
+		s0, s1 := r[i], 0.0
+		k := ic.ptr[i]
+		for ; k+1 < ic.diag[i]; k += 2 {
+			s0 -= ic.vals[k] * z[ic.cols[k]]
+			s1 -= ic.vals[k+1] * z[ic.cols[k+1]]
 		}
-		z[i] = sum / ic.vals[ic.diag[i]]
+		if k < ic.diag[i] {
+			s0 -= ic.vals[k] * z[ic.cols[k]]
+		}
+		z[i] = (s0 + s1) * ic.invDiag[i]
 	}
-	// Backward solve Lᵀ·z = y, processing columns right to left.
+	// Backward solve Lᵀ·z = y: row i of the strict upper triangle holds
+	// L(j,i) for j > i.
 	for i := ic.n - 1; i >= 0; i-- {
-		zi := z[i] / ic.vals[ic.diag[i]]
-		z[i] = zi
-		for k := ic.ptr[i]; k < ic.diag[i]; k++ {
-			z[ic.cols[k]] -= ic.vals[k] * zi
+		s0, s1 := z[i], 0.0
+		k := ic.uptr[i]
+		for ; k+1 < ic.uptr[i+1]; k += 2 {
+			s0 -= ic.uvals[k] * z[ic.ucols[k]]
+			s1 -= ic.uvals[k+1] * z[ic.ucols[k+1]]
 		}
+		if k < ic.uptr[i+1] {
+			s0 -= ic.uvals[k] * z[ic.ucols[k]]
+		}
+		z[i] = (s0 + s1) * ic.invDiag[i]
 	}
 }
 

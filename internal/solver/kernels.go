@@ -1,0 +1,130 @@
+package solver
+
+import (
+	"emvia/internal/par"
+	"emvia/internal/sparse"
+)
+
+// Deterministic parallel kernels for the CG iteration.
+//
+// Reductions (dot products) are computed over fixed-size blocks whose partial
+// sums are written to per-block slots and reduced sequentially in block
+// order. The block size is a constant of the algorithm — never derived from
+// the worker count — so the floating-point result is bit-identical for any
+// number of workers, including the serial path, which runs the exact same
+// block loop inline. Elementwise updates (axpy, SpMV rows) have disjoint
+// writes per index and are deterministic under any partition.
+const (
+	// dotBlock is the reduction block length.
+	dotBlock = 1024
+	// rowBlock is the number of matrix rows per SpMV dispatch block.
+	rowBlock = 256
+	// vecBlock is the number of vector entries per axpy dispatch block.
+	vecBlock = 4096
+)
+
+// partialsLen returns the number of dot-product partial slots for dimension n.
+func partialsLen(n int) int { return par.Blocks(n, dotBlock) }
+
+// dotRange accumulates Σ a[i]·b[i] over [lo,hi) in index order.
+func dotRange(a, b []float64, lo, hi int) float64 {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// dotDet computes the blocked dot product of a and b using partials as the
+// per-block scratch (len(partials) == partialsLen(len(a))). The serial branch
+// performs no allocation.
+func dotDet(a, b, partials []float64, p *par.Pool) float64 {
+	n := len(a)
+	nb := len(partials)
+	if p.Workers() == 1 {
+		for bi := 0; bi < nb; bi++ {
+			lo := bi * dotBlock
+			hi := lo + dotBlock
+			if hi > n {
+				hi = n
+			}
+			partials[bi] = dotRange(a, b, lo, hi)
+		}
+	} else {
+		p.Run(nb, func(bi int) {
+			lo := bi * dotBlock
+			hi := lo + dotBlock
+			if hi > n {
+				hi = n
+			}
+			partials[bi] = dotRange(a, b, lo, hi)
+		})
+	}
+	s := 0.0
+	for _, v := range partials {
+		s += v
+	}
+	return s
+}
+
+// mulVec computes y = A·x, row-partitioned across the pool. Row results are
+// independent, so the output matches the serial MulVecTo bit for bit.
+func mulVec(a *sparse.CSR, y, x []float64, p *par.Pool) {
+	if p.Workers() == 1 {
+		a.MulVecTo(y, x)
+		return
+	}
+	rows, _ := a.Dims()
+	p.Run(par.Blocks(rows, rowBlock), func(bi int) {
+		lo := bi * rowBlock
+		hi := lo + rowBlock
+		if hi > rows {
+			hi = rows
+		}
+		a.MulVecRange(y, x, lo, hi)
+	})
+}
+
+// cgUpdate applies the fused iterate/residual update x += α·p, r −= α·ap.
+func cgUpdate(x, r, pvec, ap []float64, alpha float64, p *par.Pool) {
+	n := len(x)
+	if p.Workers() == 1 {
+		for i := 0; i < n; i++ {
+			x[i] += alpha * pvec[i]
+			r[i] -= alpha * ap[i]
+		}
+		return
+	}
+	p.Run(par.Blocks(n, vecBlock), func(bi int) {
+		lo := bi * vecBlock
+		hi := lo + vecBlock
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			x[i] += alpha * pvec[i]
+			r[i] -= alpha * ap[i]
+		}
+	})
+}
+
+// cgDirection updates the search direction p = z + β·p.
+func cgDirection(pvec, z []float64, beta float64, p *par.Pool) {
+	n := len(pvec)
+	if p.Workers() == 1 {
+		for i := 0; i < n; i++ {
+			pvec[i] = z[i] + beta*pvec[i]
+		}
+		return
+	}
+	p.Run(par.Blocks(n, vecBlock), func(bi int) {
+		lo := bi * vecBlock
+		hi := lo + vecBlock
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			pvec[i] = z[i] + beta*pvec[i]
+		}
+	})
+}

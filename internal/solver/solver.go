@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"emvia/internal/par"
 	"emvia/internal/sparse"
 )
 
@@ -140,6 +141,13 @@ type Options struct {
 	// performs no heap allocation and the returned solution aliases
 	// Work.X — callers must copy it out before the next solve.
 	Work *Workspace
+	// Pool parallelizes the SpMV and vector kernels across its workers.
+	// Reductions use fixed-size blocks with partial sums combined in block
+	// order, so the iterates, iteration count and residuals are
+	// bit-identical for any worker count; nil (or a 1-wide pool) runs the
+	// same blocked kernels inline. Preconditioner application is serial
+	// either way.
+	Pool *par.Pool
 }
 
 // Workspace holds the scratch vectors of a CG solve so repeated solves of
@@ -148,6 +156,9 @@ type Options struct {
 type Workspace struct {
 	X          []float64 // solution vector of the most recent solve
 	r, z, p, a []float64
+	// partials holds the per-block partial sums of the deterministic
+	// blocked dot products (one slot per dotBlock-sized chunk).
+	partials []float64
 }
 
 // Reserve grows the workspace to dimension n.
@@ -164,6 +175,11 @@ func (w *Workspace) Reserve(n int) {
 	w.z = w.z[:n]
 	w.p = w.p[:n]
 	w.a = w.a[:n]
+	nb := partialsLen(n)
+	if cap(w.partials) < nb {
+		w.partials = make([]float64, nb)
+	}
+	w.partials = w.partials[:nb]
 }
 
 // Stats reports how a CG solve went.
@@ -199,10 +215,12 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		m = opt.M
 	}
 
-	var x, r, z, p, ap []float64
+	pool := opt.Pool
+	var x, r, z, p, ap, partials []float64
 	if opt.Work != nil {
 		opt.Work.Reserve(n)
 		x, r, z, p, ap = opt.Work.X, opt.Work.r, opt.Work.z, opt.Work.p, opt.Work.a
+		partials = opt.Work.partials
 		for i := range x {
 			x[i] = 0
 		}
@@ -212,13 +230,14 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		z = make([]float64, n)
 		p = make([]float64, n)
 		ap = make([]float64, n)
+		partials = make([]float64, partialsLen(n))
 	}
 	if opt.X0 != nil {
 		if len(opt.X0) != n {
 			return nil, Stats{}, fmt.Errorf("solver: CG warm start length %d does not match dimension %d", len(opt.X0), n)
 		}
 		copy(x, opt.X0)
-		a.MulVecTo(r, x)
+		mulVec(a, r, x, pool)
 		for i := range r {
 			r[i] = b[i] - r[i]
 		}
@@ -226,7 +245,7 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		copy(r, b)
 	}
 
-	bnorm := norm2(b)
+	bnorm := math.Sqrt(dotDet(b, b, partials, pool))
 	if bnorm == 0 {
 		// b = 0 ⇒ x = 0 exactly.
 		for i := range x {
@@ -237,34 +256,29 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 
 	m.Apply(z, r)
 	copy(p, z)
-	rz := dot(r, z)
+	rz := dotDet(r, z, partials, pool)
 
-	res := norm2(r) / bnorm
+	res := math.Sqrt(dotDet(r, r, partials, pool)) / bnorm
 	var it int
 	for it = 0; it < maxIter && res > tol; it++ {
-		a.MulVecTo(ap, p)
-		pap := dot(p, ap)
+		mulVec(a, ap, p, pool)
+		pap := dotDet(p, ap, partials, pool)
 		if pap <= 0 || math.IsNaN(pap) {
 			return x, Stats{Iterations: it, Residual: res},
 				fmt.Errorf("%w: pᵀAp = %g at iteration %d", ErrNotSPD, pap, it)
 		}
 		alpha := rz / pap
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
-		res = norm2(r) / bnorm
+		cgUpdate(x, r, p, ap, alpha, pool)
+		res = math.Sqrt(dotDet(r, r, partials, pool)) / bnorm
 		if res <= tol {
 			it++
 			break
 		}
 		m.Apply(z, r)
-		rzNew := dot(r, z)
+		rzNew := dotDet(r, z, partials, pool)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		cgDirection(p, z, beta, pool)
 	}
 	st := Stats{Iterations: it, Residual: res}
 	if res > tol {
@@ -274,14 +288,3 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 	return x, st, nil
 }
 
-func dot(a, b []float64) float64 {
-	s := 0.0
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
-}
-
-func norm2(a []float64) float64 {
-	return math.Sqrt(dot(a, a))
-}

@@ -250,11 +250,38 @@ func (m *CSR) MulVecTo(y, x []float64) {
 			m.nrows, m.ncols, len(x), len(y)))
 	}
 	for i := 0; i < m.nrows; i++ {
-		sum := 0.0
-		for k := m.ptr[i]; k < m.ptr[i+1]; k++ {
-			sum += m.vals[k] * x[m.cols[k]]
-		}
-		y[i] = sum
+		y[i] = m.rowDot(x, m.ptr[i], m.ptr[i+1])
+	}
+}
+
+// rowDot accumulates one CSR row against x with two interleaved partial sums
+// (breaking the serial dependency chain) combined as even+odd at the end.
+// Every row-product in the package funnels through it, so MulVecTo and the
+// partitioned MulVecRange produce bit-identical results.
+func (m *CSR) rowDot(x []float64, lo, hi int) float64 {
+	s0, s1 := 0.0, 0.0
+	k := lo
+	for ; k+1 < hi; k += 2 {
+		s0 += m.vals[k] * x[m.cols[k]]
+		s1 += m.vals[k+1] * x[m.cols[k+1]]
+	}
+	if k < hi {
+		s0 += m.vals[k] * x[m.cols[k]]
+	}
+	return s0 + s1
+}
+
+// MulVecRange computes y[lo:hi] = (A·x)[lo:hi] for a row range, leaving the
+// rest of y untouched. Row results are independent, so callers may partition
+// the rows across workers in any way and still obtain a result bit-identical
+// to MulVecTo. Bounds are the caller's responsibility beyond the row range
+// check; dimension validation is done once by the driver, not per block.
+func (m *CSR) MulVecRange(y, x []float64, lo, hi int) {
+	if lo < 0 || hi > m.nrows || lo > hi {
+		panic(fmt.Sprintf("sparse: MulVecRange rows [%d,%d) out of range %d", lo, hi, m.nrows))
+	}
+	for i := lo; i < hi; i++ {
+		y[i] = m.rowDot(x, m.ptr[i], m.ptr[i+1])
 	}
 }
 

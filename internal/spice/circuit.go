@@ -96,9 +96,8 @@ type resSlots struct {
 type assembly struct {
 	mat   *sparse.CSR
 	rhs   []float64
-	slots []resSlots
-	diag  []int  // matrix slot of each free diagonal (gmin anchor)
-	gen   uint64 // bumped on every value edit
+	slots []resSlots // nil until the first edit compiles them (ensureSlots)
+	gen   uint64     // bumped on every value edit
 
 	// Pristine snapshots taken right after compilation. ResetResistors
 	// restores them verbatim, so every Monte-Carlo trial starts from
@@ -230,43 +229,104 @@ func (c *Circuit) freeTerm(node int) int {
 	return c.freeIdx[node]
 }
 
-// compile builds the fixed sparsity pattern, the per-resistor slot map, the
-// pristine snapshots, and — for small systems — the cached dense factor.
-// Called lazily by the first solve so that pre-solve SetResistor /
-// DisableResistor calls are folded into the pristine state.
+// compile builds the fixed sparsity pattern with its numeric content stamped
+// directly — a one-shot cold solve pays only for a solver-ready system. The
+// per-resistor slot map and the pristine snapshots compile lazily at the
+// first edit or reset (ensureSlots), so they cost nothing when no
+// incremental edits follow. Called lazily by the first solve so that
+// pre-solve SetResistor / DisableResistor calls are folded into the pristine
+// state.
 func (c *Circuit) compile() {
 	n := c.nFree
 	tr := sparse.NewTriplet(n, n, len(c.res)*4+n)
-	// Structural stamps use the placeholder 1 (Triplet.Add drops zeros); the
-	// numeric content is filled by refreshValues below.
+	rhs := make([]float64, n)
 	for i := range c.names {
 		if fi := c.freeIdx[i]; fi >= 0 {
-			tr.Add(fi, fi, 1) // gmin leak anchors every free diagonal
+			tr.Add(fi, fi, c.gmin) // gmin leak anchors every free diagonal
 		}
 	}
 	for _, r := range c.res {
 		fa, fb := c.freeTerm(r.a), c.freeTerm(r.b)
+		g := r.cond
 		if fa >= 0 {
-			tr.Add(fa, fa, 1)
+			tr.Add(fa, fa, g)
 			if fb >= 0 {
-				tr.Add(fa, fb, 1)
+				tr.Add(fa, fb, -g)
 			}
 		}
 		if fb >= 0 {
-			tr.Add(fb, fb, 1)
+			tr.Add(fb, fb, g)
 			if fa >= 0 {
-				tr.Add(fb, fa, 1)
+				tr.Add(fb, fa, -g)
+			}
+		}
+		if r.disabled {
+			// Cancel the stamp numerically with a duplicate of opposite
+			// sign: ToCSR sums duplicates, leaving the slot in the pattern
+			// with value zero — the invariant that keeps later enables pure
+			// value updates.
+			if fa >= 0 {
+				tr.Add(fa, fa, -g)
+				if fb >= 0 {
+					tr.Add(fa, fb, g)
+				}
+			}
+			if fb >= 0 {
+				tr.Add(fb, fb, -g)
+				if fa >= 0 {
+					tr.Add(fb, fa, g)
+				}
+			}
+			continue
+		}
+		// A pad terminal pins its side; its conductance moves to the RHS.
+		if fa >= 0 && fb < 0 && r.b >= 0 {
+			rhs[fa] += g * c.fixed[r.b]
+		}
+		if fb >= 0 && fa < 0 && r.a >= 0 {
+			rhs[fb] += g * c.fixed[r.a]
+		}
+	}
+	for _, s := range c.cur {
+		// Current flows a→b through the source: out of node a, into node b.
+		if s.a >= 0 {
+			if fi := c.freeIdx[s.a]; fi >= 0 {
+				rhs[fi] -= s.amps
+			}
+		}
+		if s.b >= 0 {
+			if fi := c.freeIdx[s.b]; fi >= 0 {
+				rhs[fi] += s.amps
 			}
 		}
 	}
-	mat := tr.ToCSR()
-	a := &assembly{mat: mat, rhs: make([]float64, n)}
-	a.diag = make([]int, n)
-	for i := range c.names {
-		if fi := c.freeIdx[i]; fi >= 0 {
-			a.diag[fi] = mat.SlotIndex(fi, fi)
-		}
+	a := &assembly{mat: tr.ToCSR(), rhs: rhs}
+	c.asm = a
+
+	limit := c.DirectMaxNodes
+	if limit == 0 {
+		limit = defaultDirectMaxNodes
 	}
+	if n > 0 && limit > 0 && n <= limit {
+		a.direct = true
+		a.w = make([]float64, n)
+	}
+	a.work.Reserve(n)
+	a.x0 = make([]float64, n)
+}
+
+// ensureSlots lazily compiles the incremental-edit machinery: the
+// per-resistor slot map and the pristine snapshots ResetResistors restores.
+// It must run before the first post-compile mutation of the resistor table so
+// the snapshots capture the compiled state — SetResistor, DisableResistor and
+// ResetResistors call it ahead of any change. A circuit that only ever does
+// one-shot solves never reaches it.
+func (c *Circuit) ensureSlots() {
+	a := c.asm
+	if a == nil || a.slots != nil {
+		return
+	}
+	mat := a.mat
 	a.slots = make([]resSlots, len(c.res))
 	for k, r := range c.res {
 		sl := resSlots{aa: -1, bb: -1, ab: -1, ba: -1, fa: -1, fb: -1}
@@ -298,57 +358,10 @@ func (c *Circuit) compile() {
 		}
 		a.slots[k] = sl
 	}
-	c.asm = a
-	c.refreshValues()
-
 	a.mat0 = make([]float64, mat.NNZ())
 	mat.CopyValues(a.mat0)
 	a.rhs0 = append([]float64(nil), a.rhs...)
 	a.res0 = append([]cResistor(nil), c.res...)
-
-	limit := c.DirectMaxNodes
-	if limit == 0 {
-		limit = defaultDirectMaxNodes
-	}
-	if n > 0 && limit > 0 && n <= limit {
-		a.direct = true
-		a.w = make([]float64, n)
-	}
-	a.work.Reserve(n)
-	a.x0 = make([]float64, n)
-}
-
-// refreshValues rebuilds the numeric content of the compiled system (matrix
-// values and RHS) from the current resistor and current-source state, without
-// touching the pattern or allocating.
-func (c *Circuit) refreshValues() {
-	a := c.asm
-	a.mat.ZeroValues()
-	for i := range a.rhs {
-		a.rhs[i] = 0
-	}
-	for _, s := range a.diag {
-		a.mat.AddAt(s, c.gmin)
-	}
-	for k, r := range c.res {
-		if r.disabled {
-			continue
-		}
-		c.applyDelta(a.slots[k], r.cond)
-	}
-	for _, s := range c.cur {
-		// Current flows a→b through the source: out of node a, into node b.
-		if s.a >= 0 {
-			if fi := c.freeIdx[s.a]; fi >= 0 {
-				a.rhs[fi] -= s.amps
-			}
-		}
-		if s.b >= 0 {
-			if fi := c.freeIdx[s.b]; fi >= 0 {
-				a.rhs[fi] += s.amps
-			}
-		}
-	}
 }
 
 // applyDelta adds a conductance change dg of one resistor to the matrix
@@ -441,6 +454,7 @@ func (c *Circuit) SetResistor(i int, ohms float64) error {
 	if !c.res[i].disabled {
 		old = c.res[i].cond
 	}
+	c.ensureSlots() // snapshot the pre-edit state before mutating
 	c.res[i].cond = g
 	c.res[i].disabled = false
 	c.editResistor(i, g-old)
@@ -454,6 +468,7 @@ func (c *Circuit) DisableResistor(i int) error {
 		return fmt.Errorf("spice: resistor index %d out of range", i)
 	}
 	if !c.res[i].disabled {
+		c.ensureSlots() // snapshot the pre-edit state before mutating
 		c.res[i].disabled = true
 		c.editResistor(i, -c.res[i].cond)
 	}
@@ -475,6 +490,7 @@ func (c *Circuit) ResetResistors() {
 	if c.asm == nil {
 		return
 	}
+	c.ensureSlots() // a reset signals re-solve activity; compile the machinery
 	a := c.asm
 	copy(c.res, a.res0)
 	a.mat.SetValues(a.mat0)

@@ -4,25 +4,32 @@
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
-# The snapshot protocol is fixed (-benchtime=100x, -count=1, -benchmem) so
-# numbers recorded across commits — e.g. the baseline/current sections of
-# BENCH_1.json — are comparable. Parsing keys on the unit tokens, not field
-# positions, because some benchmarks report extra custom metrics.
+# The snapshot protocol is fixed so numbers recorded across commits — e.g.
+# the baseline/current sections of BENCH_1.json and BENCH_2.json — are
+# comparable: the grid benchmarks run at -benchtime=100x (their op is sub-ms)
+# and the FEA benchmarks at -benchtime=10x (their op is ~0.1–1 s), both with
+# -count=1 -benchmem. Parsing keys on the unit tokens, not field positions,
+# because some benchmarks report extra custom metrics.
 set -eu
 out="${1:-BENCH_snapshot.json}"
 cd "$(dirname "$0")/.."
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve' \
+grid_benches='BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve'
+fea_benches='BenchmarkFig1StressProfile|BenchmarkFig6Patterns|BenchmarkFig7ArraySize|BenchmarkFEAWorkers|BenchmarkStressCacheWarm'
+
+go test -run '^$' -bench "$grid_benches" \
     -benchmem -benchtime=100x -count=1 . | tee "$tmp"
+go test -run '^$' -bench "$fea_benches" \
+    -benchmem -benchtime=10x -count=1 . | tee -a "$tmp"
 
 {
     printf '{\n'
     printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
     printf '  "cpu": "%s",\n' "$(awk -F: '/^cpu:/ {sub(/^[ \t]+/, "", $2); print $2; exit}' "$tmp")"
-    printf '  "protocol": "go test -run ^$ -bench BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve -benchmem -benchtime=100x -count=1 .",\n'
+    printf '  "protocol": "go test -run ^$ -bench <group> -benchmem -count=1 .; grid group (%s) at -benchtime=100x, FEA group (%s) at -benchtime=10x",\n' "$grid_benches" "$fea_benches"
     printf '  "benchmarks": {\n'
     awk '/^Benchmark/ {
         name = $1
