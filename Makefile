@@ -14,7 +14,8 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/mc ./internal/pdn ./internal/par ./internal/fem \
-	    ./internal/solver ./internal/sparse ./internal/core ./internal/spice
+	    ./internal/solver ./internal/sparse ./internal/core ./internal/spice \
+	    ./internal/telemetry
 
 # bench runs the paper-figure benchmarks with the fixed snapshot protocol
 # (see scripts/bench_snapshot.sh and BENCH_1.json / BENCH_2.json).

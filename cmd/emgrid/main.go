@@ -26,6 +26,7 @@ import (
 	"emvia/internal/phys"
 	"emvia/internal/profiling"
 	"emvia/internal/spice"
+	"emvia/internal/telemetry"
 	"emvia/internal/viaarray"
 )
 
@@ -44,6 +45,10 @@ func main() {
 	global.Usage = usage
 	cpuProfile := global.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := global.String("memprofile", "", "write a heap profile to this file on exit")
+	var tcfg telemetry.CLIConfig
+	global.BoolVar(&tcfg.Metrics, "metrics", false, "print a telemetry report to stderr on exit")
+	global.StringVar(&tcfg.MetricsJSON, "metrics-json", "", `write a JSON telemetry report to this file on exit ("-" = stdout)`)
+	global.BoolVar(&tcfg.Progress, "progress", false, "print periodic progress lines to stderr during long Monte-Carlo runs")
 	global.Parse(args) // stops at the subcommand, the first non-flag argument
 	args = global.Args()
 	if len(args) == 0 {
@@ -55,6 +60,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "emgrid: %v\n", err)
 		os.Exit(1)
 	}
+	finishTelemetry := telemetry.CLISetup(tcfg)
 	switch args[0] {
 	case "gen":
 		err = cmdGen(args[1:])
@@ -83,6 +89,9 @@ func main() {
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr
 	}
+	if terr := finishTelemetry(); terr != nil && err == nil {
+		err = terr
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "emgrid: %v\n", err)
 		os.Exit(1)
@@ -102,6 +111,9 @@ func usage() {
 Global flags (before the subcommand):
   -cpuprofile FILE   write a CPU profile
   -memprofile FILE   write a heap profile on exit
+  -metrics           print a telemetry report to stderr on exit
+  -metrics-json FILE write a JSON telemetry report on exit ("-" = stdout)
+  -progress          periodic progress lines during long Monte-Carlo runs
 Run 'emgrid <subcommand> -h' for flags.`)
 }
 

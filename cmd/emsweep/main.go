@@ -25,6 +25,7 @@ import (
 	"emvia/internal/phys"
 	"emvia/internal/profiling"
 	"emvia/internal/stat"
+	"emvia/internal/telemetry"
 )
 
 type knob struct {
@@ -66,6 +67,10 @@ func main() {
 	conc := flag.Int("conc", 0, "knobs evaluated concurrently (0 = GOMAXPROCS)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	var tcfg telemetry.CLIConfig
+	flag.BoolVar(&tcfg.Metrics, "metrics", false, "print a telemetry report to stderr on exit")
+	flag.StringVar(&tcfg.MetricsJSON, "metrics-json", "", `write a JSON telemetry report to this file on exit ("-" = stdout)`)
+	flag.BoolVar(&tcfg.Progress, "progress", false, "print periodic progress lines to stderr during long Monte-Carlo runs")
 	flag.Parse()
 
 	prof, err := profiling.Start(*cpuProfile, *memProfile)
@@ -73,6 +78,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "emsweep: %v\n", err)
 		os.Exit(1)
 	}
+	finishTelemetry := telemetry.CLISetup(tcfg)
 	// os.Exit skips deferred calls, so error paths below stop the profiles
 	// explicitly through fatal.
 	fatal := func(format string, a ...any) {
@@ -182,6 +188,9 @@ func main() {
 	}
 	fmt.Println("\nswing = |median(+delta) − median(−delta)| / baseline median")
 	if err := prof.Stop(); err != nil {
+		fatal("emsweep: %v\n", err)
+	}
+	if err := finishTelemetry(); err != nil {
 		fatal("emsweep: %v\n", err)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"emvia/internal/pdn"
 	"emvia/internal/phys"
 	"emvia/internal/stat"
+	"emvia/internal/telemetry"
 	"emvia/internal/viaarray"
 )
 
@@ -105,6 +106,13 @@ func (a *Analyzer) StressFor(pattern cudd.Pattern, pair cudd.LayerPair, arrayN i
 	}
 	s, ok := a.cache[key]
 	a.mu.Unlock()
+	if r := telemetry.Default(); r != nil {
+		if ok {
+			r.Counter(telemetry.StressMemHits).Inc()
+		} else {
+			r.Counter(telemetry.StressMemMisses).Inc()
+		}
+	}
 	if !ok {
 		p := a.Base
 		p.Pattern = pattern
@@ -250,6 +258,13 @@ func (a *Analyzer) CharacterizeViaArrayPair(pattern cudd.Pattern, pair cudd.Laye
 	a.charMu.Lock()
 	cached, ok := a.charCache[ck]
 	a.charMu.Unlock()
+	if r := telemetry.Default(); r != nil {
+		if ok {
+			r.Counter(telemetry.CharHits).Inc()
+		} else {
+			r.Counter(telemetry.CharMisses).Inc()
+		}
+	}
 	if ok {
 		return cached, nil
 	}

@@ -4,13 +4,16 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
 	"emvia/internal/cudd"
 	"emvia/internal/fem"
 	"emvia/internal/mat"
+	"emvia/internal/telemetry"
 )
 
 // StressCache is the persistent on-disk layer under the Analyzer's in-memory
@@ -118,23 +121,55 @@ func (c *StressCache) path(key string) string {
 // Get loads the entry for key. Any read, decode, version or key mismatch is
 // reported as a miss — the caller recomputes and rewrites.
 func (c *StressCache) Get(key string) ([][]float64, bool) {
+	sigma, outcome := c.get(key)
+	if r := telemetry.Default(); r != nil {
+		switch outcome {
+		case cacheHit:
+			r.Counter(telemetry.StressDiskHits).Inc()
+		case cacheMiss:
+			r.Counter(telemetry.StressDiskMisses).Inc()
+		case cacheCorrupt:
+			r.Counter(telemetry.StressDiskBad).Inc()
+		}
+	}
+	return sigma, outcome == cacheHit
+}
+
+// cacheOutcome distinguishes a plain miss (the entry does not exist) from a
+// corrupt entry (present but unreadable, truncated, version-skewed or
+// shape-invalid). Both behave as misses toward the caller; telemetry counts
+// them separately because corruption indicates a real problem — a crashed
+// writer bypassing the atomic rename, manual edits, a skewed build — while
+// misses are just cold caches.
+type cacheOutcome int
+
+const (
+	cacheHit cacheOutcome = iota
+	cacheMiss
+	cacheCorrupt
+)
+
+func (c *StressCache) get(key string) ([][]float64, cacheOutcome) {
 	buf, err := os.ReadFile(c.path(key))
 	if err != nil {
-		return nil, false
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, cacheMiss
+		}
+		return nil, cacheCorrupt
 	}
 	var e stressCacheEntry
 	if err := json.Unmarshal(buf, &e); err != nil {
-		return nil, false
+		return nil, cacheCorrupt
 	}
 	if e.Version != stressCacheVersion || e.Key != key || len(e.PeakSigmaT) == 0 {
-		return nil, false
+		return nil, cacheCorrupt
 	}
 	for _, row := range e.PeakSigmaT {
 		if len(row) != len(e.PeakSigmaT) {
-			return nil, false
+			return nil, cacheCorrupt
 		}
 	}
-	return e.PeakSigmaT, true
+	return e.PeakSigmaT, cacheHit
 }
 
 // Put stores sigma under key via write-to-temp + atomic rename.

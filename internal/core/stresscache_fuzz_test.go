@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// FuzzStressCacheGet throws arbitrary bytes at the on-disk entry decoder:
+// whatever a crashed writer, a manual edit or a skewed build leaves in the
+// cache directory, Get must never panic and must only report a hit for an
+// entry that is well-formed in every respect (version, key echo, square
+// stress matrix). A hit on anything else would silently feed garbage stress
+// values into the TTF model.
+func FuzzStressCacheGet(f *testing.F) {
+	const key = "fuzzkey"
+
+	// Seeds: a valid entry plus the corruption classes Get must reject.
+	valid, err := json.Marshal(stressCacheEntry{
+		Version:    stressCacheVersion,
+		Key:        key,
+		PeakSigmaT: [][]float64{{1e8, 2e8}, {3e8, 4e8}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                                  // truncated mid-write
+	f.Add([]byte{})                                                              // empty file
+	f.Add([]byte("not json at all"))                                             // garbage
+	f.Add([]byte(`{"version":99,"key":"fuzzkey","peak_sigma_t_pa":[[1]]}`))      // version skew
+	f.Add([]byte(`{"version":1,"key":"other","peak_sigma_t_pa":[[1]]}`))         // key mismatch
+	f.Add([]byte(`{"version":1,"key":"fuzzkey","peak_sigma_t_pa":[]}`))          // empty matrix
+	f.Add([]byte(`{"version":1,"key":"fuzzkey","peak_sigma_t_pa":[[1],[2,3]]}`)) // ragged matrix
+	f.Add([]byte(`{"version":1,"key":"fuzzkey","peak_sigma_t_pa":[[1,2]]}`))     // non-square matrix
+	f.Add([]byte(`{"version":1,"key":"fuzzkey","peak_sigma_t_pa":null}`))        // null matrix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		c, err := OpenStressCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(c.path(key), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sigma, ok := c.Get(key)
+		if !ok {
+			if sigma != nil {
+				t.Fatalf("miss returned a non-nil matrix (%d rows)", len(sigma))
+			}
+			return
+		}
+		// A hit must have decoded a structurally valid entry: re-verify the
+		// invariants Get promises its caller independently of its own checks.
+		var e stressCacheEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			t.Fatalf("hit on undecodable data: %v", err)
+		}
+		if e.Version != stressCacheVersion {
+			t.Fatalf("hit on version %d, want %d", e.Version, stressCacheVersion)
+		}
+		if e.Key != key {
+			t.Fatalf("hit on key %q, want %q", e.Key, key)
+		}
+		if len(sigma) == 0 {
+			t.Fatal("hit returned an empty matrix")
+		}
+		for i, row := range sigma {
+			if len(row) != len(sigma) {
+				t.Fatalf("hit returned non-square matrix: row %d has %d entries, want %d", i, len(row), len(sigma))
+			}
+		}
+	})
+}
+
+// TestStressCacheGetMissVsCorrupt pins the miss/corrupt split the telemetry
+// layer reports: a nonexistent entry is a plain miss, while present-but-bad
+// entries are classified corrupt — and both present as misses to the caller.
+func TestStressCacheGetMissVsCorrupt(t *testing.T) {
+	c, err := OpenStressCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome := c.get("absent"); outcome != cacheMiss {
+		t.Errorf("nonexistent entry classified %d, want miss", outcome)
+	}
+	if err := os.WriteFile(c.path("bad"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome := c.get("bad"); outcome != cacheCorrupt {
+		t.Errorf("truncated entry classified %d, want corrupt", outcome)
+	}
+	if sigma, ok := c.Get("bad"); ok || sigma != nil {
+		t.Error("corrupt entry surfaced as a hit to the caller")
+	}
+}

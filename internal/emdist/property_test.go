@@ -1,0 +1,213 @@
+package emdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"emvia/internal/phys"
+)
+
+// qrand is a deterministic quasi-random parameter sweep (golden-ratio
+// additive recurrence with per-dimension offsets) — the same low-discrepancy
+// idiom as the stat property tests, giving even coverage of the physical
+// parameter box from a handful of cases.
+type qrand struct{ i int }
+
+func (q *qrand) next(dim int, lo, hi float64) float64 {
+	x := float64(q.i+1)*0.6180339887498949 + float64(dim)*0.7548776662466927
+	x -= math.Floor(x)
+	return lo + x*(hi-lo)
+}
+
+func (q *qrand) advance() { q.i++ }
+
+// sweepParams perturbs every physical constant of the default set by up to
+// ±30 % along a low-discrepancy direction, keeping the parameters valid while
+// exploring a broad neighbourhood of the paper's operating point.
+func sweepParams(q *qrand) Params {
+	p := Default()
+	p.D0 *= q.next(0, 0.7, 1.3)
+	p.Ea *= q.next(1, 0.9, 1.1) // Arrhenius exponent: keep the sweep numerically sane
+	p.Omega *= q.next(2, 0.7, 1.3)
+	p.ZStar *= q.next(3, 0.7, 1.3)
+	p.Rho *= q.next(4, 0.7, 1.3)
+	p.Bulk *= q.next(5, 0.7, 1.3)
+	p.Kappa *= q.next(6, 0.7, 1.3)
+	p.GammaS *= q.next(7, 0.7, 1.3)
+	p.ThetaC = q.next(8, 0.3, math.Pi-1e-9)
+	p.RfMean *= q.next(9, 0.7, 1.3)
+	p.RfStdFrac = q.next(10, 0.01, 0.2)
+	p.DeffLogSigma = q.next(11, 0, 0.5)
+	p.TempC = q.next(12, 60, 150)
+	q.advance()
+	return p
+}
+
+// TestPropertyNucleationZeroWhenStressExceedsCritical pins the central model
+// discontinuity of equation (1): whenever σ_C ≤ σ_T a void is immediately
+// feasible and t_n must be exactly 0, never merely small — across the whole
+// parameter sweep.
+func TestPropertyNucleationZeroWhenStressExceedsCritical(t *testing.T) {
+	var q qrand
+	for i := 0; i < 150; i++ {
+		p := sweepParams(&q)
+		sigmaT := q.next(20, 1e6, 500e6)
+		j := math.Exp(q.next(21, math.Log(1e8), math.Log(1e11)))
+		// σ_C at or below σ_T → exactly zero.
+		for _, sigmaC := range []float64{sigmaT, sigmaT * 0.999, sigmaT / 2, 0} {
+			if tn := p.NucleationTime(sigmaC, sigmaT, j); tn != 0 {
+				t.Fatalf("case %d: t_n(σ_C=%g ≤ σ_T=%g) = %g, want exactly 0", i, sigmaC, sigmaT, tn)
+			}
+		}
+		// σ_C above σ_T → strictly positive and finite.
+		tn := p.NucleationTime(sigmaT*1.001, sigmaT, j)
+		if !(tn > 0) || math.IsInf(tn, 1) || math.IsNaN(tn) {
+			t.Fatalf("case %d: t_n(σ_C>σ_T) = %g, want positive finite", i, tn)
+		}
+		// No driving force → +Inf regardless of stress gap.
+		if tn := p.NucleationTime(2*sigmaT, sigmaT, 0); !math.IsInf(tn, 1) {
+			t.Fatalf("case %d: t_n(j=0) = %g, want +Inf", i, tn)
+		}
+	}
+}
+
+// TestPropertyNucleationScaling pins the two exact scaling laws of equations
+// (1)–(3): t_n ∝ (σ_C−σ_T)² and t_n ∝ 1/j², for every swept parameter set.
+func TestPropertyNucleationScaling(t *testing.T) {
+	var q qrand
+	for i := 0; i < 150; i++ {
+		p := sweepParams(&q)
+		sigmaT := q.next(20, 1e6, 400e6)
+		gap := q.next(21, 1e6, 300e6)
+		j := math.Exp(q.next(22, math.Log(1e8), math.Log(1e11)))
+		base := p.NucleationTime(sigmaT+gap, sigmaT, j)
+
+		// Doubling the stress gap quadruples t_n.
+		quad := p.NucleationTime(sigmaT+2*gap, sigmaT, j)
+		if d := math.Abs(quad/base - 4); d > 1e-9 {
+			t.Errorf("case %d: doubling gap scaled t_n by %g, want 4", i, quad/base)
+		}
+		// t_n · j² is invariant in j.
+		for _, f := range []float64{0.1, 3, 17} {
+			other := p.NucleationTime(sigmaT+gap, sigmaT, f*j)
+			if d := math.Abs(other*f*f/base - 1); d > 1e-9 {
+				t.Errorf("case %d: t_n·j² not invariant at j×%g (ratio %g)", i, f, other*f*f/base)
+			}
+		}
+	}
+}
+
+// TestPropertySigmaCDistFlawRelation checks the critical-stress distribution
+// against equation (4)'s exact change of variables: σ_C·R_f = 2γs·sinθ_C at
+// the median, and σ_C inherits the flaw radius's log-sigma unchanged.
+func TestPropertySigmaCDistFlawRelation(t *testing.T) {
+	var q qrand
+	for i := 0; i < 150; i++ {
+		p := sweepParams(&q)
+		sc, err := p.SigmaCDist()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		rfMedian := math.Exp(math.Log(p.RfMean) - sc.Sigma*sc.Sigma/2) // lognormal median from moments
+		want := 2 * p.GammaS * math.Sin(p.ThetaC) / rfMedian
+		if d := math.Abs(sc.Median()/want - 1); d > 1e-9 {
+			t.Errorf("case %d: σ_C median %g, want 2γs·sinθ/Rf_med = %g", i, sc.Median(), want)
+		}
+		if sc.Sigma <= 0 {
+			t.Errorf("case %d: σ_C Sigma = %g, want > 0", i, sc.Sigma)
+		}
+	}
+}
+
+// TestPropertySampleTTFWellFormed sweeps parameters and seeds: sampled TTFs
+// must always be ≥ 0 and never NaN, the contract the Monte-Carlo engine
+// relies on (0 and +Inf are both legal outcomes).
+func TestPropertySampleTTFWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var q qrand
+	for i := 0; i < 60; i++ {
+		p := sweepParams(&q)
+		sigmaT := q.next(20, 0, 600e6) // deliberately allowed above typical σ_C medians
+		j := math.Exp(q.next(21, math.Log(1e8), math.Log(1e11)))
+		for k := 0; k < 50; k++ {
+			ttf := p.SampleTTF(rng, sigmaT, j)
+			if ttf < 0 || math.IsNaN(ttf) {
+				t.Fatalf("case %d sample %d: TTF = %g (σ_T=%g j=%g)", i, k, ttf, sigmaT, j)
+			}
+		}
+	}
+}
+
+// TestPropertyCalibrateAndJMaxInverses checks the two inversions around
+// MedianTTF: CalibrateD0 must hit the target median exactly, and
+// JMaxForLifetime must return the current density whose median TTF is the
+// requested lifetime.
+func TestPropertyCalibrateAndJMaxInverses(t *testing.T) {
+	var q qrand
+	for i := 0; i < 100; i++ {
+		p := sweepParams(&q)
+		sigmaT := q.next(20, 50e6, 200e6)
+		j := math.Exp(q.next(21, math.Log(5e9), math.Log(5e10)))
+		years := q.next(22, 0.5, 30)
+
+		if p.MedianTTF(sigmaT, j) == 0 {
+			// σ_T at or above the median critical stress: the documented
+			// guard behaviour is a no-op calibration and a zero jmax.
+			if cal := p.CalibrateD0(sigmaT, j, years); cal != p {
+				t.Errorf("case %d: CalibrateD0 changed params despite zero median TTF", i)
+			}
+			if jm := p.JMaxForLifetime(sigmaT, phys.YearsToSeconds(years)); jm != 0 {
+				t.Errorf("case %d: jmax = %g with zero median TTF, want 0", i, jm)
+			}
+			continue
+		}
+
+		cal := p.CalibrateD0(sigmaT, j, years)
+		if got := phys.SecondsToYears(cal.MedianTTF(sigmaT, j)); math.Abs(got/years-1) > 1e-9 {
+			t.Errorf("case %d: calibrated median %g years, want %g", i, got, years)
+		}
+
+		target := phys.YearsToSeconds(years)
+		jmax := cal.JMaxForLifetime(sigmaT, target)
+		if jmax <= 0 || math.IsInf(jmax, 1) {
+			t.Fatalf("case %d: jmax = %g for a finite positive target", i, jmax)
+		}
+		if got := cal.MedianTTF(sigmaT, jmax); math.Abs(got/target-1) > 1e-9 {
+			t.Errorf("case %d: MedianTTF at jmax = %g s, want %g s", i, got, target)
+		}
+	}
+}
+
+// TestPropertyTempScaleIdentity checks TTFTempScale's fixed point (unit
+// factor at the reference temperature, to round-off) and its pure-Arrhenius
+// limit: at σ_T = 0 the linear stress rescaling is inert, so a hotter die
+// must strictly shorten life through the diffusivity alone.
+func TestPropertyTempScaleIdentity(t *testing.T) {
+	var q qrand
+	for i := 0; i < 100; i++ {
+		p := sweepParams(&q)
+		sigmaT := q.next(20, 50e6, 250e6)
+		j := math.Exp(q.next(21, math.Log(1e9), math.Log(5e10)))
+		tRef := p.TempC
+		if s := p.TTFTempScale(sigmaT, tRef, tRef, 400, j); math.Abs(s-1) > 1e-12 {
+			t.Errorf("case %d: TTFTempScale at the reference temperature = %g, want 1", i, s)
+		}
+		// σ_T = 0 removes the stress rescaling: the factor reduces to the
+		// explicit temperature dependence t_n ∝ T/D_eff(T) — Arrhenius
+		// diffusivity against the linear kB·T in C_tn — strictly below 1
+		// for a hotter die because the exponential wins.
+		s := p.TTFTempScale(0, tRef, tRef+10, 400, j)
+		if !(s > 0) || math.IsInf(s, 1) || math.IsNaN(s) {
+			t.Fatalf("case %d: TTFTempScale(+10°C) = %g, want positive finite", i, s)
+		}
+		if s >= 1 {
+			t.Errorf("case %d: +10°C scale factor %g at σ_T=0, want < 1 (hotter ages faster)", i, s)
+		}
+		hot := p.WithTemp(tRef + 10)
+		want := (hot.TempK() / p.TempK()) * p.Deff() / hot.Deff()
+		if d := math.Abs(s/want - 1); d > 1e-9 {
+			t.Errorf("case %d: σ_T=0 scale factor %g, want diffusivity ratio %g", i, s, want)
+		}
+	}
+}

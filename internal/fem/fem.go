@@ -21,6 +21,7 @@ import (
 	"emvia/internal/mesh"
 	"emvia/internal/par"
 	"emvia/internal/solver"
+	"emvia/internal/telemetry"
 )
 
 // Face names one of the six boundary faces of the rectilinear domain.
@@ -135,11 +136,17 @@ type Result struct {
 // kernels and stress recovery run on opt.Workers workers (0 = GOMAXPROCS)
 // and produce bit-identical results for every worker count.
 func (m *Model) Solve(opt SolveOptions) (*Result, error) {
+	reg := telemetry.Default()
+	reg.Counter(telemetry.FEMSolves).Inc()
+	solve0 := reg.Histogram(telemetry.FEMSolveSeconds).Start()
+
 	pool := par.New(opt.Workers)
+	asm0 := reg.Histogram(telemetry.FEMAssemblySeconds).Start()
 	asm, err := m.assemble(pool)
 	if err != nil {
 		return nil, err
 	}
+	reg.Histogram(telemetry.FEMAssemblySeconds).ObserveSince(asm0)
 	a, rhs, eq, nEq := asm.a, asm.rhs, asm.eq, asm.nEq
 
 	tol := opt.Tol
@@ -184,6 +191,7 @@ func (m *Model) Solve(opt SolveOptions) (*Result, error) {
 			u[d] = x[eq[d]]
 		}
 	}
+	reg.Histogram(telemetry.FEMSolveSeconds).ObserveSince(solve0)
 	return &Result{U: u, Stats: st, model: m, workers: opt.Workers}, nil
 }
 

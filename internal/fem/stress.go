@@ -7,6 +7,7 @@ import (
 	"emvia/internal/mat"
 	"emvia/internal/mesh"
 	"emvia/internal/par"
+	"emvia/internal/telemetry"
 )
 
 // Tensor is a symmetric Cauchy stress tensor in Voigt layout.
@@ -55,6 +56,7 @@ func (r *Result) PrecomputeStress(workers int) {
 	ncells := g.NumCells()
 	sig := make([]Tensor, ncells)
 	sigOK := make([]bool, ncells)
+	stress0 := telemetry.Default().Histogram(telemetry.FEMStressSeconds).Start()
 	pool := par.New(workers)
 	pool.Run(par.Blocks(ncells, cellBlock), func(b int) {
 		lo := b * cellBlock
@@ -69,6 +71,7 @@ func (r *Result) PrecomputeStress(workers int) {
 			sig[cid], sigOK[cid] = r.computeStressAt(i, j, k)
 		}
 	})
+	telemetry.Default().Histogram(telemetry.FEMStressSeconds).ObserveSince(stress0)
 	r.sig, r.sigOK = sig, sigOK
 }
 

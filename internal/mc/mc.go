@@ -56,6 +56,10 @@ type Options struct {
 	// fires, recording every failure event. Used by via-array
 	// characterization, which extracts all n_F criteria from one run.
 	RunToCompletion bool
+	// Workers bounds the number of worker goroutines of RunParallel; zero
+	// or negative selects runtime.GOMAXPROCS(0). Results are bit-identical
+	// for any value thanks to per-trial seeding. Ignored by Run.
+	Workers int
 }
 
 // Result collects the per-trial outcomes.
@@ -149,16 +153,20 @@ func Run(sys System, opt Options) (*Result, error) {
 	// allocating.
 	rng := rand.New(rand.NewSource(trialSeed(opt.Seed, 0)))
 	var scratch trialScratch
+	met := newRunMetrics()
+	t0 := met.runSeconds.Start()
 	for t := 0; t < opt.Trials; t++ {
 		rng.Seed(trialSeed(opt.Seed, t))
-		ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch)
+		ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met)
 		if err != nil {
 			return nil, fmt.Errorf("mc: trial %d: %w", t, err)
 		}
 		res.TTF[t] = ttf
 		res.Events[t] = events
 		res.EventComps[t] = comps
+		met.reg.ProgressTick("mc", int64(t+1), int64(opt.Trials))
 	}
+	met.runSeconds.ObserveSince(t0)
 	return res, nil
 }
 
@@ -168,7 +176,10 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 	if opt.Trials < 1 {
 		return nil, fmt.Errorf("mc: Trials must be ≥ 1, got %d", opt.Trials)
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > opt.Trials {
 		workers = opt.Trials
 	}
@@ -177,12 +188,15 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 		Events:     make([][]float64, opt.Trials),
 		EventComps: make([][]int, opt.Trials),
 	}
+	met := newRunMetrics()
+	t0 := met.runSeconds.Start()
 	// Trial dispatch is a lock-free atomic fetch-add — workers never contend
 	// on a mutex in the hot loop. Errors are confined to a sync.Once (the
 	// first one wins) plus a stop flag that drains the remaining workers.
 	var (
 		wg       sync.WaitGroup
 		next     atomic.Int64
+		done     atomic.Int64
 		stop     atomic.Bool
 		once     sync.Once
 		firstErr error
@@ -202,13 +216,14 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 			}
 			rng := rand.New(rand.NewSource(trialSeed(opt.Seed, 0)))
 			var scratch trialScratch
+			met := newRunMetrics() // per-worker handles; runSeconds tracked by the dispatcher
 			for !stop.Load() {
 				t := int(next.Add(1)) - 1
 				if t >= opt.Trials {
 					return
 				}
 				rng.Seed(trialSeed(opt.Seed, t))
-				ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch)
+				ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met)
 				if err != nil {
 					fail(fmt.Errorf("mc: trial %d: %w", t, err))
 					return
@@ -216,10 +231,14 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 				res.TTF[t] = ttf
 				res.Events[t] = events
 				res.EventComps[t] = comps
+				if met.reg != nil {
+					met.reg.ProgressTick("mc", done.Add(1), int64(opt.Trials))
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	met.runSeconds.ObserveSince(t0)
 	// wg.Wait orders every once.Do before this read; no lock needed.
 	if firstErr != nil {
 		return nil, firstErr
@@ -245,7 +264,8 @@ func (s *trialScratch) reserve(n int) {
 }
 
 // runTrial performs one sequential-failure trial.
-func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScratch) (systemTTF float64, events []float64, comps []int, err error) {
+func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScratch, met *runMetrics) (systemTTF float64, events []float64, comps []int, err error) {
+	trial0 := met.trialSeconds.Start()
 	if err := sys.BeginTrial(rng); err != nil {
 		return 0, nil, nil, fmt.Errorf("BeginTrial: %w", err)
 	}
@@ -302,9 +322,13 @@ func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScrat
 			}
 		}
 		alive[minIdx] = false
+		// The Fail call is the redistribution step: it mutates the electrical
+		// state and re-solves, which dominates a trial's wall time.
+		fail0 := met.failSeconds.Start()
 		if err := sys.Fail(minIdx); err != nil {
 			return 0, nil, nil, fmt.Errorf("Fail(%d): %w", minIdx, err)
 		}
+		met.failSeconds.ObserveSince(fail0)
 		events = append(events, now)
 		comps = append(comps, minIdx)
 
@@ -322,5 +346,8 @@ func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScrat
 			}
 		}
 	}
+	met.trials.Inc()
+	met.failuresPerTrial.Observe(float64(len(events)))
+	met.trialSeconds.ObserveSince(trial0)
 	return systemTTF, events, comps, nil
 }

@@ -1,0 +1,28 @@
+package mc
+
+import "emvia/internal/telemetry"
+
+// runMetrics caches the telemetry handles one Monte-Carlo run (or one
+// parallel worker) records through. With telemetry disabled every handle is
+// nil and reg is nil, so the per-trial hot path pays nil-receiver no-ops
+// only; span timers never read the clock.
+type runMetrics struct {
+	reg              *telemetry.Registry // for progress ticks; nil when disabled
+	trials           *telemetry.Counter
+	failuresPerTrial *telemetry.Histogram
+	trialSeconds     *telemetry.Histogram
+	failSeconds      *telemetry.Histogram
+	runSeconds       *telemetry.Histogram
+}
+
+func newRunMetrics() runMetrics {
+	r := telemetry.Default()
+	return runMetrics{
+		reg:              r,
+		trials:           r.Counter(telemetry.MCTrials),
+		failuresPerTrial: r.Histogram(telemetry.MCFailuresPerTrial),
+		trialSeconds:     r.Histogram(telemetry.MCTrialSeconds),
+		failSeconds:      r.Histogram(telemetry.MCFailStepSeconds),
+		runSeconds:       r.Histogram(telemetry.MCRunSeconds),
+	}
+}

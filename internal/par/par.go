@@ -16,6 +16,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"emvia/internal/telemetry"
 )
 
 // Pool is a fixed-width worker pool. The zero value and nil are both valid
@@ -51,10 +54,26 @@ func (p *Pool) Run(nblocks int, fn func(b int)) {
 		w = nblocks
 	}
 	if w <= 1 {
+		// The serial path is deliberately uninstrumented: it sits inside the
+		// per-iteration CG kernels of serial callers, where even a single
+		// atomic load per call would be measurable.
 		for b := 0; b < nblocks; b++ {
 			fn(b)
 		}
 		return
+	}
+	// Utilization telemetry (parallel dispatches only): busy time is the
+	// summed in-worker time, wall time is the dispatch duration weighted by
+	// the worker count; their ratio is the fleet utilization. time.Now is
+	// only read when telemetry is enabled.
+	reg := telemetry.Default()
+	var run0 time.Time
+	var busy *telemetry.Counter
+	if reg != nil {
+		reg.Counter(telemetry.ParRuns).Inc()
+		reg.Counter(telemetry.ParBlocks).Add(int64(nblocks))
+		busy = reg.Counter(telemetry.ParBusyNanos)
+		run0 = time.Now()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -62,16 +81,26 @@ func (p *Pool) Run(nblocks int, fn func(b int)) {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			var w0 time.Time
+			if busy != nil {
+				w0 = time.Now()
+			}
 			for {
 				b := int(next.Add(1)) - 1
 				if b >= nblocks {
-					return
+					break
 				}
 				fn(b)
+			}
+			if busy != nil {
+				busy.Add(int64(time.Since(w0)))
 			}
 		}()
 	}
 	wg.Wait()
+	if reg != nil {
+		reg.Counter(telemetry.ParWallNanos).Add(int64(w) * int64(time.Since(run0)))
+	}
 }
 
 // Blocks returns the number of fixed-size blocks covering n items. The block

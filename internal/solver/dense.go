@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"emvia/internal/sparse"
+	"emvia/internal/telemetry"
 )
 
 // DenseCholesky is a dense LLᵀ factorization of a small SPD matrix, used for
@@ -84,6 +85,7 @@ func (c *DenseCholesky) RefactorFromCSR(a *sparse.CSR) error {
 			}
 		}
 	}
+	recordDense(telemetry.DenseFactorizations)
 	return factorLowerInPlace(c.l, n)
 }
 
@@ -111,6 +113,7 @@ func (c *DenseCholesky) Clone() *DenseCholesky {
 // Update applies the rank-one update L·Lᵀ → L·Lᵀ + w·wᵀ in place (LINPACK
 // dchud). w is consumed. Updates always succeed on a valid factor.
 func (c *DenseCholesky) Update(w []float64) {
+	recordDense(telemetry.DenseUpdates)
 	n, l := c.n, c.l
 	k0 := 0
 	for k0 < n && w[k0] == 0 {
@@ -135,6 +138,7 @@ func (c *DenseCholesky) Update(w []float64) {
 // partially modified, so the caller must refactor — when the downdated
 // matrix is not positive definite.
 func (c *DenseCholesky) Downdate(w []float64) error {
+	recordDense(telemetry.DenseDowndates)
 	n, l := c.n, c.l
 	k0 := 0
 	for k0 < n && w[k0] == 0 {
@@ -174,6 +178,7 @@ func (c *DenseCholesky) SolveInto(x, b []float64) error {
 	if len(b) != c.n || len(x) != c.n {
 		return fmt.Errorf("solver: SolveInto lengths %d/%d do not match dimension %d", len(x), len(b), c.n)
 	}
+	recordDense(telemetry.DenseSolves)
 	n, l := c.n, c.l
 	// Forward solve L·y = b into x, then backward solve Lᵀ·x = y in place:
 	// the backward sweep at row i only reads entries x[k] with k > i, which

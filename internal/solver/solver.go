@@ -251,6 +251,7 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		for i := range x {
 			x[i] = 0
 		}
+		recordCG(Stats{})
 		return x, Stats{Iterations: 0, Residual: 0}, nil
 	}
 
@@ -281,10 +282,10 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		cgDirection(p, z, beta, pool)
 	}
 	st := Stats{Iterations: it, Residual: res}
+	recordCG(st)
 	if res > tol {
 		return x, st, fmt.Errorf("%w: residual %.3e after %d iterations (tol %.3e)",
 			ErrNotConverged, res, it, tol)
 	}
 	return x, st, nil
 }
-

@@ -66,6 +66,10 @@ type Circuit struct {
 	precondIters      int // iteration count right after the cache was (re)built
 	precondGen        uint64
 	editsSinceRefresh int
+
+	// met holds telemetry handles fetched once at compile; all nil (no-op)
+	// when telemetry is disabled.
+	met circuitMetrics
 }
 
 type cResistor struct {
@@ -237,6 +241,7 @@ func (c *Circuit) freeTerm(node int) int {
 // pre-solve SetResistor / DisableResistor calls are folded into the pristine
 // state.
 func (c *Circuit) compile() {
+	c.met = newCircuitMetrics()
 	n := c.nFree
 	tr := sparse.NewTriplet(n, n, len(c.res)*4+n)
 	rhs := make([]float64, n)
@@ -400,6 +405,7 @@ func (c *Circuit) editResistor(i int, dg float64) {
 	sl := a.slots[i]
 	c.applyDelta(sl, dg)
 	c.editsSinceRefresh++
+	c.met.slotEdits.Inc()
 	if a.direct {
 		if a.chol != nil && !a.needRefactor {
 			// The edit is rank-one: ΔA = dg·u·uᵀ with u = e_fa − e_fb
@@ -491,6 +497,7 @@ func (c *Circuit) ResetResistors() {
 		return
 	}
 	c.ensureSlots() // a reset signals re-solve activity; compile the machinery
+	c.met.resets.Inc()
 	a := c.asm
 	copy(c.res, a.res0)
 	a.mat.SetValues(a.mat0)
@@ -595,6 +602,7 @@ func (c *Circuit) SolveDCInto(dst, prev *OP) error {
 		if err := a.chol.SolveInto(a.work.X, a.rhs); err != nil {
 			return fmt.Errorf("spice: DC solve: %w", err)
 		}
+		c.met.directSolves.Inc()
 		c.scatter(dst, a.work.X)
 		return nil
 	}
@@ -644,6 +652,7 @@ func (c *Circuit) SolveDCInto(dst, prev *OP) error {
 		// inside the edit budget: refresh now so the next solve recovers.
 		c.refreshPrecond()
 	}
+	c.met.cgSolves.Inc()
 	dst.stats = st
 	c.scatter(dst, x)
 	return nil
@@ -670,6 +679,7 @@ func (c *Circuit) ensureFactor() error {
 // current matrix, in place when it supports that, and resets the staleness
 // accounting and the iteration baseline.
 func (c *Circuit) refreshPrecond() {
+	c.met.refreshes.Inc()
 	a := c.asm
 	if rf, ok := c.precond.(solver.Refreshable); ok {
 		if err := rf.Refresh(a.mat); err != nil {

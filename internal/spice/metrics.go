@@ -1,0 +1,29 @@
+package spice
+
+import "emvia/internal/telemetry"
+
+// circuitMetrics holds the telemetry handles of one compiled circuit. The
+// handles are fetched once at compile time, so the per-edit and per-solve
+// hot paths record through cached pointers — with telemetry disabled every
+// handle is nil and each record call is a nil-receiver no-op.
+type circuitMetrics struct {
+	slotEdits    *telemetry.Counter
+	resets       *telemetry.Counter
+	directSolves *telemetry.Counter
+	cgSolves     *telemetry.Counter
+	refreshes    *telemetry.Counter
+}
+
+// newCircuitMetrics snapshots the process-wide registry into per-circuit
+// handles and counts the compilation itself.
+func newCircuitMetrics() circuitMetrics {
+	r := telemetry.Default() // nil when disabled: all handles stay nil
+	r.Counter(telemetry.SpiceCompiles).Inc()
+	return circuitMetrics{
+		slotEdits:    r.Counter(telemetry.SpiceSlotEdits),
+		resets:       r.Counter(telemetry.SpiceResets),
+		directSolves: r.Counter(telemetry.SpiceDirectSolves),
+		cgSolves:     r.Counter(telemetry.SpiceCGSolves),
+		refreshes:    r.Counter(telemetry.SpicePrecondRefreshes),
+	}
+}

@@ -1,0 +1,201 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// qrand is a deterministic quasi-random parameter sweep: additive recurrence
+// on the golden ratio (Kronecker low-discrepancy sequence), offset per
+// dimension so the sweep covers the parameter box far more evenly than the
+// same number of pseudo-random draws would.
+type qrand struct{ i int }
+
+const goldenFrac = 0.6180339887498949 // frac(φ)
+
+// next returns a low-discrepancy point in [lo, hi) for dimension dim.
+func (q *qrand) next(dim int, lo, hi float64) float64 {
+	x := float64(q.i+1)*goldenFrac + float64(dim)*0.7548776662466927 // frac(plastic number) offsets dims
+	x -= math.Floor(x)
+	return lo + x*(hi-lo)
+}
+
+func (q *qrand) advance() { q.i++ }
+
+func relDiff(a, b float64) float64 {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / scale
+}
+
+// TestPropertyMomentsRoundTrip sweeps (mean, std) pairs across six orders of
+// magnitude: LogNormalFromMoments followed by Mean/StdDev must reproduce the
+// requested arithmetic moments.
+func TestPropertyMomentsRoundTrip(t *testing.T) {
+	var q qrand
+	for i := 0; i < 200; i++ {
+		m := math.Exp(q.next(0, -7, 7))       // mean spans e^-7 … e^7
+		s := m * math.Exp(q.next(1, -4, 1.5)) // std from tiny to ~4.5× mean
+		q.advance()
+		l, err := LogNormalFromMoments(m, s)
+		if err != nil {
+			t.Fatalf("case %d (m=%g s=%g): %v", i, m, s, err)
+		}
+		if d := relDiff(l.Mean(), m); d > 1e-12 {
+			t.Errorf("case %d: Mean round-trip m=%g got %g (rel %g)", i, m, l.Mean(), d)
+		}
+		if d := relDiff(l.StdDev(), s); d > 1e-9 {
+			t.Errorf("case %d: StdDev round-trip s=%g got %g (rel %g)", i, s, l.StdDev(), d)
+		}
+	}
+}
+
+// TestPropertyQuantileCDFInverse sweeps distributions and probabilities:
+// CDF(Quantile(p)) must return p.
+func TestPropertyQuantileCDFInverse(t *testing.T) {
+	var q qrand
+	for i := 0; i < 200; i++ {
+		l := LogNormal{Mu: q.next(0, -5, 25), Sigma: math.Exp(q.next(1, -3, 1))}
+		p := q.next(2, 1e-4, 1-1e-4)
+		q.advance()
+		got := l.CDF(l.Quantile(p))
+		if math.Abs(got-p) > 1e-9 {
+			t.Errorf("case %d (Mu=%g Sigma=%g): CDF(Quantile(%g)) = %g", i, l.Mu, l.Sigma, p, got)
+		}
+	}
+}
+
+// TestPropertyFitScaleEquivariance pins the MLE fit's exact algebraic
+// structure: scaling every sample by c shifts the fitted Mu by ln c and
+// leaves Sigma unchanged, for any positive sample set.
+func TestPropertyFitScaleEquivariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var q qrand
+	for i := 0; i < 100; i++ {
+		n := 2 + rng.Intn(40)
+		gen := LogNormal{Mu: q.next(0, -3, 8), Sigma: math.Exp(q.next(1, -3, 0.7))}
+		c := math.Exp(q.next(2, -6, 6))
+		q.advance()
+		samples := make([]float64, n)
+		scaled := make([]float64, n)
+		for k := range samples {
+			samples[k] = gen.Sample(rng)
+			scaled[k] = c * samples[k]
+		}
+		f1, err := FitLogNormal(samples)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		f2, err := FitLogNormal(scaled)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if d := math.Abs((f2.Mu - f1.Mu) - math.Log(c)); d > 1e-9 {
+			t.Errorf("case %d: scaling by %g shifted Mu by %g, want %g", i, c, f2.Mu-f1.Mu, math.Log(c))
+		}
+		if d := math.Abs(f2.Sigma - f1.Sigma); d > 1e-9*(1+f1.Sigma) {
+			t.Errorf("case %d: scaling changed Sigma %g → %g", i, f1.Sigma, f2.Sigma)
+		}
+	}
+}
+
+// TestPropertyFitRecoversGenerator fits large seeded samples and requires the
+// estimate to land within the standard-error band of the generator — the
+// statistical round-trip behind the paper's lognormal TTF fits.
+func TestPropertyFitRecoversGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q qrand
+	const n = 4000
+	for i := 0; i < 25; i++ {
+		gen := LogNormal{Mu: q.next(0, -2, 22), Sigma: math.Exp(q.next(1, -2.5, 0.7))}
+		q.advance()
+		samples := make([]float64, n)
+		for k := range samples {
+			samples[k] = gen.Sample(rng)
+		}
+		fit, err := FitLogNormal(samples)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		// Mu estimator has std error Sigma/√n; Sigma estimator Sigma/√(2n).
+		// 5 standard errors keeps the seeded test deterministic yet tight.
+		if d := math.Abs(fit.Mu - gen.Mu); d > 5*gen.Sigma/math.Sqrt(n) {
+			t.Errorf("case %d: fitted Mu %g, generator %g (err %g)", i, fit.Mu, gen.Mu, d)
+		}
+		if d := math.Abs(fit.Sigma - gen.Sigma); d > 5*gen.Sigma/math.Sqrt(2*n) {
+			t.Errorf("case %d: fitted Sigma %g, generator %g (err %g)", i, fit.Sigma, gen.Sigma, d)
+		}
+	}
+}
+
+// TestPropertyWilkinsonMomentMatch sweeps random term sets: the Wilkinson
+// lognormal must match the exact first two moments of the sum — mean equal to
+// the sum of means, variance (by independence) to the sum of variances.
+func TestPropertyWilkinsonMomentMatch(t *testing.T) {
+	var q qrand
+	for i := 0; i < 120; i++ {
+		nTerms := 1 + (q.i % 9)
+		terms := make([]LogNormal, nTerms)
+		var wantMean, wantVar float64
+		for k := range terms {
+			terms[k] = LogNormal{Mu: q.next(2*k, -1, 4), Sigma: math.Exp(q.next(2*k+1, -3, 0))}
+			wantMean += terms[k].Mean()
+			sd := terms[k].StdDev()
+			wantVar += sd * sd
+		}
+		q.advance()
+		sum, err := WilkinsonSum(terms)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if d := relDiff(sum.Mean(), wantMean); d > 1e-9 {
+			t.Errorf("case %d (%d terms): Wilkinson mean %g, exact %g (rel %g)", i, nTerms, sum.Mean(), wantMean, d)
+		}
+		gotVar := sum.StdDev() * sum.StdDev()
+		if d := relDiff(gotVar, wantVar); d > 1e-6 {
+			t.Errorf("case %d (%d terms): Wilkinson variance %g, exact %g (rel %g)", i, nTerms, gotVar, wantVar, d)
+		}
+	}
+}
+
+// TestPropertyECDFInvariants sweeps seeded sample sets and checks the order
+// and range invariants every empirical CDF must satisfy: At is a CDF
+// (monotone, 0→1), Percentile is monotone and bracketed by Min/Max, and the
+// two are mutually consistent at the sample points.
+func TestPropertyECDFInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var q qrand
+	for i := 0; i < 60; i++ {
+		n := 1 + rng.Intn(60)
+		gen := LogNormal{Mu: q.next(0, -2, 6), Sigma: math.Exp(q.next(1, -3, 0.5))}
+		q.advance()
+		samples := make([]float64, n)
+		for k := range samples {
+			samples[k] = gen.Sample(rng)
+		}
+		e, err := NewECDF(samples)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if e.At(e.Max()) != 1 {
+			t.Errorf("case %d: At(Max) = %g, want 1", i, e.At(e.Max()))
+		}
+		if got := e.At(e.Min() / 2); got != 0 {
+			t.Errorf("case %d: At below Min = %g, want 0", i, got)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			v := e.Percentile(p)
+			if v < prev {
+				t.Fatalf("case %d: Percentile not monotone at p=%g: %g < %g", i, p, v, prev)
+			}
+			if v < e.Min() || v > e.Max() {
+				t.Fatalf("case %d: Percentile(%g) = %g outside [%g, %g]", i, p, v, e.Min(), e.Max())
+			}
+			prev = v
+		}
+	}
+}

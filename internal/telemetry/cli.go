@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// CLIConfig mirrors the -metrics / -metrics-json / -progress flags the
+// binaries share.
+type CLIConfig struct {
+	// Metrics writes a text report to stderr when the process finishes.
+	Metrics bool
+	// MetricsJSON, when non-empty, writes a JSON report to this path at
+	// finish ("-" selects stdout).
+	MetricsJSON string
+	// Progress emits periodic progress lines to stderr during long loops.
+	Progress bool
+}
+
+// enabled reports whether any flag asks for telemetry.
+func (c CLIConfig) enabled() bool { return c.Metrics || c.MetricsJSON != "" || c.Progress }
+
+// CLISetup enables telemetry according to the flags and returns a finish
+// function that writes the requested end-of-run reports. When no flag is
+// set, telemetry stays disabled and finish is a cheap no-op. Reports go to
+// stderr or the -metrics-json file — stdout only when explicitly requested
+// with "-metrics-json -" — so experiment output remains bit-identical with
+// telemetry on.
+func CLISetup(cfg CLIConfig) (finish func() error) {
+	if !cfg.enabled() {
+		return func() error { return nil }
+	}
+	r := Enable()
+	if cfg.Progress {
+		r.SetProgress(os.Stderr, 2*time.Second)
+	}
+	return func() error {
+		s := r.Snapshot()
+		if cfg.Metrics {
+			if err := s.WriteText(os.Stderr); err != nil {
+				return fmt.Errorf("telemetry: text report: %w", err)
+			}
+		}
+		if cfg.MetricsJSON != "" {
+			var w io.Writer = os.Stdout
+			if cfg.MetricsJSON != "-" {
+				f, err := os.Create(cfg.MetricsJSON)
+				if err != nil {
+					return fmt.Errorf("telemetry: json report: %w", err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := s.WriteJSON(w); err != nil {
+				return fmt.Errorf("telemetry: json report: %w", err)
+			}
+		}
+		return nil
+	}
+}

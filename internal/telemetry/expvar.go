@@ -1,0 +1,25 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+)
+
+var expvarOnce sync.Once
+
+// publishExpvar exposes the process-wide registry under the expvar key
+// "emvia", so a future server mode (or anything importing net/http/pprof)
+// serves the metrics on /debug/vars with no further wiring. The published
+// Func reads Default at call time, so it tracks SetDefault swaps and
+// publishes null while telemetry is disabled. expvar.Publish panics on
+// duplicate names, hence the Once.
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("emvia", expvar.Func(func() any {
+			if r := Default(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+}

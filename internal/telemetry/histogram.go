@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets and bounds. Buckets are powers of two: bucket b covers
+// [2^(b-histOffset-1), 2^(b-histOffset)), so the layout spans ~1e-12
+// (sub-nanosecond spans in seconds) to ~3.6e16 (TTFs in seconds) without
+// configuration. Observations outside the range clamp to the end buckets;
+// exact min/max/sum are tracked separately, so only the quantile estimates
+// coarsen at the extremes.
+const (
+	histBuckets = 96
+	histOffset  = 40
+)
+
+// Histogram is a fixed-size power-of-two-bucket histogram of positive
+// float64 observations, with exact count, sum, min and max. All methods are
+// safe for concurrent use; a nil *Histogram is a valid no-op sink.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// bucketOf maps a positive value to its bucket index.
+func bucketOf(v float64) int {
+	_, exp := math.Frexp(v) // v = frac·2^exp with frac ∈ [0.5, 1)
+	b := exp + histOffset
+	if b < 0 {
+		return 0
+	}
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one observation. Non-positive and NaN values count toward
+// count/sum/min/max but land in the lowest bucket. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+	casFloat(&h.minBits, v, func(old, new float64) bool { return new < old })
+	casFloat(&h.maxBits, v, func(old, new float64) bool { return new > old })
+	b := 0
+	if v > 0 {
+		b = bucketOf(v)
+	}
+	h.buckets[b].Add(1)
+}
+
+// Start begins a span timer: it returns time.Now when the histogram is live
+// and the zero time when it is nil, so the disabled path never reads the
+// clock. Pair with ObserveSince.
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records the elapsed seconds since t0 (a Start result). No-op
+// on a nil receiver.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// addFloat atomically adds v to the float64 stored as bits in p.
+func addFloat(p *atomic.Uint64, v float64) {
+	for {
+		old := p.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if p.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// casFloat atomically replaces the float64 in p with v when better(cur, v).
+func casFloat(p *atomic.Uint64, v float64, better func(cur, cand float64) bool) {
+	for {
+		old := p.Load()
+		if !better(math.Float64frombits(old), v) {
+			return
+		}
+		if p.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram. Quantiles are
+// estimated from the power-of-two buckets (geometric bucket midpoints,
+// clamped to the exact observed min/max), so they carry about a factor-√2
+// resolution — adequate for the order-of-magnitude questions a run report
+// answers.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+	}
+	if s.Count == 0 {
+		return HistogramSnapshot{}
+	}
+	s.Mean = s.Sum / float64(s.Count)
+	s.Min = math.Float64frombits(h.minBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+
+	var counts [histBuckets]int64
+	var total int64
+	for b := range counts {
+		counts[b] = h.buckets[b].Load()
+		total += counts[b]
+	}
+	s.P50 = h.quantile(&counts, total, 0.50, s.Min, s.Max)
+	s.P90 = h.quantile(&counts, total, 0.90, s.Min, s.Max)
+	s.P99 = h.quantile(&counts, total, 0.99, s.Min, s.Max)
+	return s
+}
+
+func (h *Histogram) quantile(counts *[histBuckets]int64, total int64, q, min, max float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += counts[b]
+		if cum >= rank {
+			// Geometric midpoint of [2^(b-offset-1), 2^(b-offset)).
+			v := math.Ldexp(1, b-histOffset) / math.Sqrt2
+			if v < min {
+				v = min
+			}
+			if v > max {
+				v = max
+			}
+			return v
+		}
+	}
+	return max
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+// Metric names. Centralizing them here keeps the instrumented packages, the
+// derived-metric computation in Snapshot and the documentation (DESIGN.md §8)
+// in agreement. Naming scheme: <package>.<subsystem>.<metric>; histogram
+// names carry their unit as the final path element.
+const (
+	// internal/solver — conjugate gradients.
+	CGSolves        = "solver.cg.solves"
+	CGIterations    = "solver.cg.iterations"
+	CGItersPerSolve = "solver.cg.iterations_per_solve"
+
+	// internal/solver — dense Cholesky (the direct re-solve path).
+	DenseFactorizations = "solver.dense.factorizations"
+	DenseUpdates        = "solver.dense.updates"
+	DenseDowndates      = "solver.dense.downdates"
+	DenseSolves         = "solver.dense.solves"
+
+	// internal/spice — the incremental re-solve engine.
+	SpiceCompiles         = "spice.compiles"
+	SpiceSlotEdits        = "spice.slot_edits"
+	SpiceResets           = "spice.resets"
+	SpiceDirectSolves     = "spice.solves.direct"
+	SpiceCGSolves         = "spice.solves.cg"
+	SpicePrecondRefreshes = "spice.precond.refreshes"
+
+	// internal/mc — the sequential-failure Monte-Carlo engine.
+	MCTrials           = "mc.trials"
+	MCFailuresPerTrial = "mc.failures_per_trial"
+	MCTrialSeconds     = "mc.trial_seconds"
+	MCFailStepSeconds  = "mc.fail_step_seconds"
+	MCRunSeconds       = "mc.run_seconds"
+
+	// internal/fem — the FEA pipeline.
+	FEMSolves          = "fem.solves"
+	FEMAssemblySeconds = "fem.assembly_seconds"
+	FEMSolveSeconds    = "fem.solve_seconds"
+	FEMStressSeconds   = "fem.stress_recovery_seconds"
+
+	// internal/core — memoization layers.
+	StressMemHits    = "core.stresscache.mem_hits"
+	StressMemMisses  = "core.stresscache.mem_misses"
+	StressDiskHits   = "core.stresscache.disk_hits"
+	StressDiskMisses = "core.stresscache.disk_misses"
+	StressDiskBad    = "core.stresscache.disk_corrupt"
+	CharHits         = "core.charcache.hits"
+	CharMisses       = "core.charcache.misses"
+
+	// internal/par — worker-pool utilization. BusyNanos is the summed
+	// in-worker time of parallel dispatches; WallNanos is the summed
+	// wall-clock time of those dispatches weighted by the worker count, so
+	// busy/wall is the fleet utilization.
+	ParRuns      = "par.runs"
+	ParBlocks    = "par.blocks"
+	ParBusyNanos = "par.busy_nanos"
+	ParWallNanos = "par.weighted_wall_nanos"
+)
+
+// Derived-metric names (computed at snapshot time, never stored).
+const (
+	MCTrialsPerSecond = "mc.trials_per_second"
+	ParUtilization    = "par.worker_utilization"
+	StressDiskHitRate = "core.stresscache.disk_hit_rate"
+)

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// progressSink emits rate-limited progress lines for long-running loops.
+// The rate limit is enforced with one atomic timestamp, so the common case
+// (a tick inside the quiet interval) costs a clock read and an atomic load —
+// cheap enough for the Monte-Carlo per-trial call site.
+type progressSink struct {
+	w        io.Writer
+	interval int64 // nanoseconds between emitted lines
+
+	lastNanos atomic.Int64
+	start     time.Time
+
+	mu sync.Mutex // serializes writes to w
+}
+
+// SetProgress attaches a progress writer emitting at most one line per
+// interval (plus a final line when a loop completes). A nil writer detaches.
+// No-op on a nil registry.
+func (r *Registry) SetProgress(w io.Writer, interval time.Duration) {
+	if r == nil {
+		return
+	}
+	if w == nil {
+		r.progress.Store(nil)
+		return
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	s := &progressSink{w: w, interval: int64(interval), start: time.Now()}
+	s.lastNanos.Store(time.Now().UnixNano())
+	r.progress.Store(s)
+}
+
+// ProgressTick reports that done of total units of the named loop have
+// completed. Lines are rate-limited to the configured interval, except that
+// the final tick (done == total) always emits. Safe for concurrent use; a
+// nil registry or detached sink makes it a no-op.
+func (r *Registry) ProgressTick(label string, done, total int64) {
+	if r == nil {
+		return
+	}
+	s := r.progress.Load()
+	if s == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := s.lastNanos.Load()
+	final := total > 0 && done >= total
+	if !final && now-last < s.interval {
+		return
+	}
+	if !s.lastNanos.CompareAndSwap(last, now) && !final {
+		return // another goroutine just emitted
+	}
+	elapsed := time.Since(s.start).Round(100 * time.Millisecond)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if total > 0 {
+		fmt.Fprintf(s.w, "[%s] %d/%d (%.0f%%) elapsed %v\n", label, done, total,
+			100*float64(done)/float64(total), elapsed)
+	} else {
+		fmt.Fprintf(s.w, "[%s] %d elapsed %v\n", label, done, elapsed)
+	}
+}
