@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-snapshot
+.PHONY: build test check lint bench bench-snapshot
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,14 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/mc ./internal/pdn ./internal/par ./internal/fem \
 	    ./internal/solver ./internal/sparse ./internal/core ./internal/spice \
-	    ./internal/telemetry
+	    ./internal/telemetry ./internal/trace ./internal/monitor ./internal/cliobs
+
+# lint runs staticcheck if it is on PATH (CI installs a pinned version;
+# locally it is optional) on top of go vet.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
 
 # bench runs the paper-figure benchmarks with the fixed snapshot protocol
 # (see scripts/bench_snapshot.sh and BENCH_1.json / BENCH_2.json).

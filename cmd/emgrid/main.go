@@ -20,13 +20,13 @@ import (
 	"strings"
 
 	"emvia/internal/chartable"
+	"emvia/internal/cliobs"
 	"emvia/internal/core"
 	"emvia/internal/cudd"
 	"emvia/internal/pdn"
 	"emvia/internal/phys"
 	"emvia/internal/profiling"
 	"emvia/internal/spice"
-	"emvia/internal/telemetry"
 	"emvia/internal/viaarray"
 )
 
@@ -45,10 +45,8 @@ func main() {
 	global.Usage = usage
 	cpuProfile := global.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := global.String("memprofile", "", "write a heap profile to this file on exit")
-	var tcfg telemetry.CLIConfig
-	global.BoolVar(&tcfg.Metrics, "metrics", false, "print a telemetry report to stderr on exit")
-	global.StringVar(&tcfg.MetricsJSON, "metrics-json", "", `write a JSON telemetry report to this file on exit ("-" = stdout)`)
-	global.BoolVar(&tcfg.Progress, "progress", false, "print periodic progress lines to stderr during long Monte-Carlo runs")
+	var obs cliobs.Config
+	obs.RegisterFlags(global)
 	global.Parse(args) // stops at the subcommand, the first non-flag argument
 	args = global.Args()
 	if len(args) == 0 {
@@ -60,7 +58,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "emgrid: %v\n", err)
 		os.Exit(1)
 	}
-	finishTelemetry := telemetry.CLISetup(tcfg)
+	finishObs, err := cliobs.Setup(obs, "emgrid", global)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emgrid: %v\n", err)
+		os.Exit(1)
+	}
 	switch args[0] {
 	case "gen":
 		err = cmdGen(args[1:])
@@ -89,7 +91,7 @@ func main() {
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr
 	}
-	if terr := finishTelemetry(); terr != nil && err == nil {
+	if terr := finishObs(); terr != nil && err == nil {
 		err = terr
 	}
 	if err != nil {
@@ -114,6 +116,11 @@ Global flags (before the subcommand):
   -metrics           print a telemetry report to stderr on exit
   -metrics-json FILE write a JSON telemetry report on exit ("-" = stdout)
   -progress          periodic progress lines during long Monte-Carlo runs
+  -trace FILE        JSONL failure-cascade trace ("-" = stdout); see emtrace
+  -trace-chrome FILE Chrome trace_event JSON (chrome://tracing, Perfetto)
+  -trace-nosamples   omit per-component TTF sample events from traces
+  -http ADDR         live monitor: /status, /debug/vars, /debug/pprof
+Every trace/metrics artifact gets a <file>.manifest.json provenance record.
 Run 'emgrid <subcommand> -h' for flags.`)
 }
 
@@ -149,6 +156,7 @@ func cmdGen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cliobs.RecordFlags(fs)
 	var spec pdn.GridSpec
 	switch strings.ToUpper(*name) {
 	case "PG1":
@@ -207,6 +215,7 @@ func cmdIRDrop(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cliobs.RecordFlags(fs)
 	if *deck == "" {
 		return fmt.Errorf("irdrop: -deck is required")
 	}
@@ -283,6 +292,7 @@ func cmdCharacterize(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cliobs.RecordFlags(fs)
 	ns, err := parseIntList(*arrays)
 	if err != nil {
 		return fmt.Errorf("characterize: -arrays: %w", err)
@@ -343,6 +353,7 @@ func cmdCharModels(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cliobs.RecordFlags(fs)
 	ac, err := parseArrayCriterion(*arrayCrit)
 	if err != nil {
 		return fmt.Errorf("charmodels: %w", err)
@@ -403,6 +414,7 @@ func cmdAnalyze(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cliobs.RecordFlags(fs)
 	if *deck == "" {
 		return fmt.Errorf("analyze: -deck is required")
 	}
@@ -495,6 +507,7 @@ func cmdXSection(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cliobs.RecordFlags(fs)
 	p := cudd.DefaultParams()
 	p.ArrayN = *arrayN
 	switch *pattern {
@@ -546,6 +559,7 @@ func cmdHotspots(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cliobs.RecordFlags(fs)
 	if *deck == "" || *models == "" {
 		return fmt.Errorf("hotspots: -deck and -models are required")
 	}
@@ -624,6 +638,7 @@ func cmdOptimize(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cliobs.RecordFlags(fs)
 	var pat cudd.Pattern
 	switch *pattern {
 	case "plus":

@@ -20,12 +20,12 @@ import (
 	"sort"
 	"sync"
 
+	"emvia/internal/cliobs"
 	"emvia/internal/core"
 	"emvia/internal/cudd"
 	"emvia/internal/phys"
 	"emvia/internal/profiling"
 	"emvia/internal/stat"
-	"emvia/internal/telemetry"
 )
 
 type knob struct {
@@ -67,10 +67,8 @@ func main() {
 	conc := flag.Int("conc", 0, "knobs evaluated concurrently (0 = GOMAXPROCS)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	var tcfg telemetry.CLIConfig
-	flag.BoolVar(&tcfg.Metrics, "metrics", false, "print a telemetry report to stderr on exit")
-	flag.StringVar(&tcfg.MetricsJSON, "metrics-json", "", `write a JSON telemetry report to this file on exit ("-" = stdout)`)
-	flag.BoolVar(&tcfg.Progress, "progress", false, "print periodic progress lines to stderr during long Monte-Carlo runs")
+	var obs cliobs.Config
+	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	prof, err := profiling.Start(*cpuProfile, *memProfile)
@@ -78,7 +76,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "emsweep: %v\n", err)
 		os.Exit(1)
 	}
-	finishTelemetry := telemetry.CLISetup(tcfg)
+	finishObs, err := cliobs.Setup(obs, "emsweep", flag.CommandLine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emsweep: %v\n", err)
+		os.Exit(1)
+	}
 	// os.Exit skips deferred calls, so error paths below stop the profiles
 	// explicitly through fatal.
 	fatal := func(format string, a ...any) {
@@ -190,7 +192,7 @@ func main() {
 	if err := prof.Stop(); err != nil {
 		fatal("emsweep: %v\n", err)
 	}
-	if err := finishTelemetry(); err != nil {
+	if err := finishObs(); err != nil {
 		fatal("emsweep: %v\n", err)
 	}
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"emvia/internal/trace"
+)
+
+// syntheticTrace emits a two-trial run plus a span through the real tracer so
+// the test exercises the exact JSONL shape emtrace consumes in the field.
+func syntheticTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := trace.New(trace.Options{Sinks: []trace.Sink{trace.NewJSONLSink(&buf)}})
+	done := tr.Span("fem.cg")
+	done()
+	run := tr.BeginRun("array:Plus-shaped:4x4", 2)
+	t0 := run.Trial(0)
+	t0.Begin(16)
+	t0.Fail(1e8, 3, "via(3,0)")
+	t0.SpecViolation(1.5e8, 1)
+	t0.Fail(2e8, 5, "via(1,1)")
+	t0.End(2e8, 2)
+	t1 := run.Trial(1)
+	t1.Begin(16)
+	t1.Fail(3e8, 0, "Plus-shaped(0,0)")
+	t1.End(math.Inf(1), 1)
+	run.End()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadTraceStats(t *testing.T) {
+	var runs []*runStats
+	byKey := make(map[runKey]*runStats)
+	var spans spanStats
+	if err := readTrace(bytes.NewReader(syntheticTrace(t)), byKey, &runs, &spans); err != nil {
+		t.Fatalf("readTrace: %v", err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	rs := runs[0]
+	if rs.key.name != "array:Plus-shaped:4x4" {
+		t.Errorf("run name = %q", rs.key.name)
+	}
+	if len(rs.trials) != 2 {
+		t.Errorf("trials = %d, want 2", len(rs.trials))
+	}
+	if rs.components != 16 {
+		t.Errorf("components = %d, want 16", rs.components)
+	}
+	if rs.lengths[2] != 1 || rs.lengths[1] != 1 {
+		t.Errorf("cascade lengths = %v, want {1:1 2:1}", rs.lengths)
+	}
+	if rs.firstCounts["via"] != 1 || rs.firstCounts["Plus-shaped"] != 1 {
+		t.Errorf("first-fail families = %v", rs.firstCounts)
+	}
+	if rs.orderCnt["via"] != 2 || rs.orderSum["via"] != 3 { // positions 1 and 2
+		t.Errorf("via order stats = %d/%v", rs.orderCnt["via"], rs.orderSum["via"])
+	}
+	if rs.infTTF != 1 || len(rs.ttfs) != 1 || rs.ttfs[0] != 2e8 {
+		t.Errorf("TTFs = %v, inf = %d", rs.ttfs, rs.infTTF)
+	}
+	if len(rs.firstTimes) != 1 || rs.firstTimes[0] != 1e8 || rs.specTimes[0] != 1.5e8 {
+		t.Errorf("spec scatter points = %v vs %v", rs.firstTimes, rs.specTimes)
+	}
+	if spans.count != 1 || spans.byLbl["fem.cg"].n != 1 {
+		t.Errorf("spans = %+v", spans)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	var runs []*runStats
+	byKey := make(map[runKey]*runStats)
+	var spans spanStats
+	if err := readTrace(bytes.NewReader(syntheticTrace(t)), byKey, &runs, &spans); err != nil {
+		t.Fatalf("readTrace: %v", err)
+	}
+	var out strings.Builder
+	for _, rs := range runs {
+		rs.report(&out, 8, true)
+	}
+	spans.report(&out)
+	got := out.String()
+	for _, want := range []string{
+		"run array:Plus-shaped:4x4",
+		"2 trials",
+		"cascade length",
+		"failure order by component family",
+		"Plus-shaped",
+		"wall-clock stage spans",
+		"fem.cg",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestFamily(t *testing.T) {
+	cases := map[string]string{
+		"via(3,0)":          "via",
+		"Plus-shaped(2,1)":  "Plus-shaped",
+		"":                  "(unlabeled)",
+		"bare":              "bare",
+		"(weird)":           "(weird)",
+		"T-shaped(0,0)":     "T-shaped",
+		"Stacked-via(1,1)":  "Stacked-via",
+		"Grid-like(10,10)":  "Grid-like",
+		"Plus-shaped(0,15)": "Plus-shaped",
+	}
+	for in, want := range cases {
+		if got := family(in); got != want {
+			t.Errorf("family(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 	"emvia/internal/cudd"
 	"emvia/internal/pdn"
 	"emvia/internal/phys"
+	"emvia/internal/trace"
 )
 
 // -update regenerates testdata/golden.json from the current implementation:
@@ -152,6 +154,51 @@ func TestGoldenFigures(t *testing.T) {
 		if _, ok := want[k]; !ok {
 			t.Errorf("metric %s computed but absent from goldens (regenerate with -update)", k)
 		}
+	}
+}
+
+// TestGoldenFiguresWithTracing recomputes every golden metric with the
+// structured tracer installed and requires bit-exact equality with an
+// untraced run: tracing must observe the cascade, never perturb it. When
+// EMVIA_GOLDEN_TRACE names a directory, the JSONL trace is written there
+// (CI uploads it as an artifact on failure) instead of being discarded.
+func TestGoldenFiguresWithTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("computes the golden metrics twice")
+	}
+	plain := computeGoldenMetrics(t)
+
+	var sink io.Writer = io.Discard
+	if dir := os.Getenv("EMVIA_GOLDEN_TRACE"); dir != "" {
+		f, err := os.Create(filepath.Join(dir, "golden.trace.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		sink = f
+		t.Logf("writing golden trace to %s", f.Name())
+	}
+	tr := trace.New(trace.Options{Sinks: []trace.Sink{trace.NewJSONLSink(sink)}})
+	trace.SetDefault(tr)
+	defer trace.SetDefault(nil)
+	traced := computeGoldenMetrics(t)
+	trace.SetDefault(nil)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("closing tracer: %v", err)
+	}
+
+	for k, w := range plain {
+		g, ok := traced[k]
+		if !ok {
+			t.Errorf("metric %s missing from traced run", k)
+			continue
+		}
+		if g != w {
+			t.Errorf("metric %s perturbed by tracing: %.17g, want %.17g", k, g, w)
+		}
+	}
+	if len(traced) != len(plain) {
+		t.Errorf("traced run computed %d metrics, untraced %d", len(traced), len(plain))
 	}
 }
 

@@ -19,10 +19,10 @@ import (
 	"strings"
 	"time"
 
+	"emvia/internal/cliobs"
 	"emvia/internal/core"
 	"emvia/internal/cudd"
 	"emvia/internal/phys"
-	"emvia/internal/telemetry"
 )
 
 type options struct {
@@ -44,12 +44,14 @@ func main() {
 	flag.Int64Var(&opt.seed, "seed", 2017, "base random seed")
 	flag.IntVar(&opt.workers, "j", 0, "FEA worker goroutines, 0 = GOMAXPROCS (results are bit-identical for any value)")
 	flag.StringVar(&opt.stressCache, "stresscache", "", `persistent stress cache: a directory, or "auto" for the default location (EMVIA_STRESS_CACHE or the user cache dir)`)
-	var tcfg telemetry.CLIConfig
-	flag.BoolVar(&tcfg.Metrics, "metrics", false, "print a telemetry report to stderr on exit")
-	flag.StringVar(&tcfg.MetricsJSON, "metrics-json", "", `write a JSON telemetry report to this file on exit ("-" = stdout)`)
-	flag.BoolVar(&tcfg.Progress, "progress", false, "print periodic progress lines to stderr during long Monte-Carlo runs")
+	var obs cliobs.Config
+	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	finishTelemetry := telemetry.CLISetup(tcfg)
+	finishObs, err := cliobs.Setup(obs, "paperfigs", flag.CommandLine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+		os.Exit(1)
+	}
 
 	runners := map[string]func(*core.Analyzer, options) error{
 		"t1": figTable1,
@@ -94,7 +96,7 @@ func main() {
 		}
 		fmt.Printf("---- experiment %s done in %v ----\n\n", f, time.Since(start).Round(time.Millisecond))
 	}
-	if err := finishTelemetry(); err != nil {
+	if err := finishObs(); err != nil {
 		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
 		os.Exit(1)
 	}

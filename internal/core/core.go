@@ -29,6 +29,7 @@ import (
 	"emvia/internal/phys"
 	"emvia/internal/stat"
 	"emvia/internal/telemetry"
+	"emvia/internal/trace"
 	"emvia/internal/viaarray"
 )
 
@@ -163,7 +164,9 @@ func (a *Analyzer) characterizeSigma(p cudd.Params) ([][]float64, error) {
 			return s, nil
 		}
 	}
+	span := trace.Default().Span(fmt.Sprintf("core.fea %s %dx%d", p.Pattern, p.ArrayN, p.ArrayN))
 	res, err := cudd.Characterize(p, a.FEA)
+	span()
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +284,8 @@ func (a *Analyzer) CharacterizeViaArrayPair(pattern cudd.Pattern, pair cudd.Laye
 	if err != nil {
 		return nil, err
 	}
-	res, err := viaarray.Characterize(cfg, trials, seed)
+	res, err := viaarray.CharacterizeNamed(cfg, trials, seed,
+		fmt.Sprintf("array:%s:%dx%d", pattern, arrayN, arrayN))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"emvia/internal/emdist"
+	"emvia/internal/mat"
+)
+
+// MaterialHash fingerprints the physical constants the whole pipeline rests
+// on: the Table-1 elastic property set, the copper EM transport constants,
+// and the default nucleation-model parameters. Two runs with equal hashes
+// used the same physics; the hash goes into every run-provenance manifest so
+// results produced by different builds stay comparable.
+func MaterialHash() string {
+	type entry struct {
+		ID string
+		mat.Elastic
+	}
+	payload := struct {
+		Table []entry
+		RhoCu float64
+		ZStar float64
+		Omega float64
+		EM    emdist.Params
+	}{
+		RhoCu: mat.RhoCu,
+		ZStar: mat.ZStarEff,
+		Omega: mat.OmegaCu,
+		EM:    emdist.Default(),
+	}
+	for _, id := range mat.All() {
+		payload.Table = append(payload.Table, entry{ID: id.String(), Elastic: mat.Table1[id]})
+	}
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		// The payload is plain structs of floats; failure is impossible
+		// short of memory corruption.
+		panic(fmt.Sprintf("core: material hash: %v", err))
+	}
+	sum := sha256.Sum256(buf)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// StressCacheKeyVersion exposes the persistent stress cache's key schema
+// version for run-provenance manifests.
+func StressCacheKeyVersion() int { return stressCacheVersion }

@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"emvia/internal/trace"
 )
 
 // System is a redundant system analyzed by Algorithm 1. Implementations are
@@ -57,9 +59,45 @@ type Options struct {
 	// characterization, which extracts all n_F criteria from one run.
 	RunToCompletion bool
 	// Workers bounds the number of worker goroutines of RunParallel; zero
-	// or negative selects runtime.GOMAXPROCS(0). Results are bit-identical
-	// for any value thanks to per-trial seeding. Ignored by Run.
+	// selects runtime.GOMAXPROCS(0), negative values are rejected by
+	// Validate. Results are bit-identical for any value thanks to per-trial
+	// seeding. Ignored by Run.
 	Workers int
+	// TraceLabel names this run in structured traces (see internal/trace);
+	// empty selects "mc".
+	TraceLabel string
+}
+
+// Validate rejects impossible option values: Trials must be ≥ 1 and Workers
+// ≥ 0 (0 = one worker per CPU). Both fields are ints, so NaN or fractional
+// counts are unrepresentable here by construction — flag/config parsing
+// rejects them before an Options can be built. Run and RunParallel call
+// Validate themselves.
+func (o Options) Validate() error {
+	if o.Trials < 1 {
+		return fmt.Errorf("mc: Trials must be ≥ 1, got %d", o.Trials)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("mc: Workers must be ≥ 0 (0 = one per CPU), got %d", o.Workers)
+	}
+	return nil
+}
+
+// traceLabel returns the run name for structured traces.
+func (o Options) traceLabel() string {
+	if o.TraceLabel != "" {
+		return o.TraceLabel
+	}
+	return "mc"
+}
+
+// ComponentLabeler is optionally implemented by Systems that can name their
+// components for trace output (e.g. "Plus-shaped(3,4)" for a via, or a grid
+// array's position). Labels appear in trace fail events; they never feed
+// back into the simulation.
+type ComponentLabeler interface {
+	// ComponentLabel returns a human-readable identity for component i.
+	ComponentLabel(i int) string
 }
 
 // Result collects the per-trial outcomes.
@@ -139,8 +177,8 @@ func trialSeed(seed int64, trial int) int64 {
 
 // Run executes the Monte-Carlo loop serially on one system instance.
 func Run(sys System, opt Options) (*Result, error) {
-	if opt.Trials < 1 {
-		return nil, fmt.Errorf("mc: Trials must be ≥ 1, got %d", opt.Trials)
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	res := &Result{
 		TTF:        make([]float64, opt.Trials),
@@ -154,10 +192,13 @@ func Run(sys System, opt Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(trialSeed(opt.Seed, 0)))
 	var scratch trialScratch
 	met := newRunMetrics()
+	run := trace.Default().BeginRun(opt.traceLabel(), opt.Trials)
+	defer run.End()
+	labeler, _ := sys.(ComponentLabeler)
 	t0 := met.runSeconds.Start()
 	for t := 0; t < opt.Trials; t++ {
 		rng.Seed(trialSeed(opt.Seed, t))
-		ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met)
+		ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met, run.Trial(t), labeler)
 		if err != nil {
 			return nil, fmt.Errorf("mc: trial %d: %w", t, err)
 		}
@@ -173,8 +214,8 @@ func Run(sys System, opt Options) (*Result, error) {
 // RunParallel executes trials across workers, each with its own System from
 // the factory. Results are identical to Run thanks to per-trial seeding.
 func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
-	if opt.Trials < 1 {
-		return nil, fmt.Errorf("mc: Trials must be ≥ 1, got %d", opt.Trials)
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -189,6 +230,8 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 		EventComps: make([][]int, opt.Trials),
 	}
 	met := newRunMetrics()
+	run := trace.Default().BeginRun(opt.traceLabel(), opt.Trials)
+	defer run.End()
 	t0 := met.runSeconds.Start()
 	// Trial dispatch is a lock-free atomic fetch-add — workers never contend
 	// on a mutex in the hot loop. Errors are confined to a sync.Once (the
@@ -217,13 +260,14 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 			rng := rand.New(rand.NewSource(trialSeed(opt.Seed, 0)))
 			var scratch trialScratch
 			met := newRunMetrics() // per-worker handles; runSeconds tracked by the dispatcher
+			labeler, _ := sys.(ComponentLabeler)
 			for !stop.Load() {
 				t := int(next.Add(1)) - 1
 				if t >= opt.Trials {
 					return
 				}
 				rng.Seed(trialSeed(opt.Seed, t))
-				ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met)
+				ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met, run.Trial(t), labeler)
 				if err != nil {
 					fail(fmt.Errorf("mc: trial %d: %w", t, err))
 					return
@@ -263,13 +307,21 @@ func (s *trialScratch) reserve(n int) {
 	s.alive = s.alive[:n]
 }
 
-// runTrial performs one sequential-failure trial.
-func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScratch, met *runMetrics) (systemTTF float64, events []float64, comps []int, err error) {
+// runTrial performs one sequential-failure trial. tt is the trial's trace
+// recorder (the zero value when tracing is off) and lab the optional
+// component namer; both are strictly observational.
+func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScratch, met *runMetrics, tt trace.Trial, lab ComponentLabeler) (systemTTF float64, events []float64, comps []int, err error) {
 	trial0 := met.trialSeconds.Start()
 	if err := sys.BeginTrial(rng); err != nil {
 		return 0, nil, nil, fmt.Errorf("BeginTrial: %w", err)
 	}
 	n := sys.NumComponents()
+	tt.Begin(n)
+	if tt.Enabled() {
+		for i := 0; i < n; i++ {
+			tt.Sample(i, sys.BaseTTF(i))
+		}
+	}
 	scratch.reserve(n)
 	damage, alive := scratch.damage, scratch.alive
 	for i := range damage {
@@ -331,6 +383,32 @@ func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScrat
 		met.failSeconds.ObserveSince(fail0)
 		events = append(events, now)
 		comps = append(comps, minIdx)
+		if tt.Enabled() {
+			label := ""
+			if lab != nil {
+				label = lab.ComponentLabel(minIdx)
+			}
+			tt.Fail(now, minIdx, label)
+			// Summarize the redistribution the Fail call just performed:
+			// max/mean aging rate over the survivors. This O(n) scan runs
+			// only when tracing is on.
+			maxRate, sum := 0.0, 0.0
+			maxComp, survivors := -1, 0
+			for i := 0; i < n; i++ {
+				if !alive[i] {
+					continue
+				}
+				r := sys.AgingRate(i)
+				survivors++
+				sum += r
+				if r > maxRate {
+					maxRate, maxComp = r, i
+				}
+			}
+			if survivors > 0 {
+				tt.Redistribute(now, maxRate, maxComp, sum/float64(survivors), survivors)
+			}
+		}
 
 		if !systemFailed {
 			failed, err := sys.Failed()
@@ -340,6 +418,7 @@ func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScrat
 			if failed {
 				systemFailed = true
 				systemTTF = now
+				tt.SpecViolation(now, len(events))
 				if !toCompletion {
 					break
 				}
@@ -349,5 +428,6 @@ func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScrat
 	met.trials.Inc()
 	met.failuresPerTrial.Observe(float64(len(events)))
 	met.trialSeconds.ObserveSince(trial0)
+	tt.End(systemTTF, len(events))
 	return systemTTF, events, comps, nil
 }

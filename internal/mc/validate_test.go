@@ -1,0 +1,55 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOptionsValidate pins the option-validation contract directly.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		opt     Options
+		wantErr string
+	}{
+		{"zero trials", Options{Trials: 0}, "Trials"},
+		{"negative trials", Options{Trials: -5}, "Trials"},
+		{"negative workers", Options{Trials: 10, Workers: -1}, "Workers"},
+		{"valid serial", Options{Trials: 1}, ""},
+		{"valid auto workers", Options{Trials: 3, Workers: 0}, ""},
+		{"valid explicit workers", Options{Trials: 3, Workers: 4}, ""},
+	}
+	for _, tc := range cases {
+		err := tc.opt.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestRunRejectsInvalidOptions asserts both engines surface the validation
+// error instead of hanging or panicking on impossible option values.
+func TestRunRejectsInvalidOptions(t *testing.T) {
+	bad := []Options{
+		{Trials: 0, Seed: 1},
+		{Trials: -3, Seed: 1},
+		{Trials: 8, Workers: -2, Seed: 1},
+	}
+	for _, opt := range bad {
+		if _, err := Run(&fixedSystem{ttfs: []float64{1}, critK: 1}, opt); err == nil {
+			t.Errorf("Run(%+v): no error", opt)
+		}
+		_, err := RunParallel(func() (System, error) {
+			return &fixedSystem{ttfs: []float64{1}, critK: 1}, nil
+		}, opt)
+		if err == nil {
+			t.Errorf("RunParallel(%+v): no error", opt)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package monitor serves the live HTTP observability endpoints of the
+// long-running CLIs (-http addr):
+//
+//	/status      JSON: loop progress with ETA, trial throughput, and the
+//	             last completed cascade's summary (from the trace ring)
+//	/debug/vars  expvar, including the "emvia" telemetry snapshot
+//	/debug/pprof net/http/pprof profiles
+//
+// The monitor is read-only: it observes the telemetry registry and the trace
+// ring, and never feeds anything back into the computation, so enabling it
+// cannot perturb paper metrics. Starting a monitor force-enables telemetry
+// (with status collection) so /status and /debug/vars have data to serve.
+package monitor
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"emvia/internal/telemetry"
+	"emvia/internal/trace"
+)
+
+// Options configures a monitor.
+type Options struct {
+	// Ring, when non-nil, supplies the last-cascade summaries for /status.
+	Ring *trace.Ring
+}
+
+// Server is a running monitor.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	ring *trace.Ring
+}
+
+// Start listens on addr (e.g. "localhost:8080", ":0" for an ephemeral port)
+// and serves the monitor endpoints until Close. It enables telemetry and
+// status collection as a side effect.
+func Start(addr string, opt Options) (*Server, error) {
+	reg := telemetry.Enable()
+	reg.EnableStatus()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %w", err)
+	}
+	s := &Server{ln: ln, ring: opt.Ring}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server. Safe on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// statusPayload is the /status response. Float fields that can be non-finite
+// (+Inf TTFs) are rendered through jsonNumber, so the payload is always valid
+// JSON.
+type statusPayload struct {
+	// Progress mirrors telemetry.Status; null before the first tick.
+	Progress *progressPayload `json:"progress"`
+	// TrialsCompleted counts trials that passed through the trace ring since
+	// process start (0 when no ring is attached).
+	TrialsCompleted int64 `json:"trials_completed"`
+	// LastCascade summarizes the most recently completed trial; null before
+	// the first completion or without a ring.
+	LastCascade *cascadePayload `json:"last_cascade"`
+}
+
+type progressPayload struct {
+	Label          string  `json:"label"`
+	Done           int64   `json:"done"`
+	Total          int64   `json:"total"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ETASeconds     float64 `json:"eta_seconds"`
+}
+
+type cascadePayload struct {
+	Run        string `json:"run"`
+	Trial      int    `json:"trial"`
+	Failures   int    `json:"failures"`
+	TTF        any    `json:"ttf_seconds"`
+	FirstComp  int    `json:"first_comp"`
+	FirstLabel string `json:"first_label,omitempty"`
+	FirstTime  any    `json:"first_time_seconds"`
+	SpecTime   any    `json:"spec_time_seconds"` // null when the criterion never fired
+	MaxRate    any    `json:"max_aging_rate"`
+}
+
+// jsonNumber keeps finite values numeric and spells non-finite ones as
+// strings, matching the trace JSONL convention.
+func jsonNumber(v float64) any {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return v
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	var p statusPayload
+	if st, ok := telemetry.Default().Status(); ok {
+		p.Progress = &progressPayload{
+			Label:          st.Label,
+			Done:           st.Done,
+			Total:          st.Total,
+			ElapsedSeconds: st.Elapsed.Seconds(),
+			ETASeconds:     st.ETA.Seconds(),
+		}
+	}
+	p.TrialsCompleted = s.ring.Total()
+	if last, ok := s.ring.Last(); ok {
+		c := &cascadePayload{
+			Run:        last.Run,
+			Trial:      last.Trial,
+			Failures:   last.Failures,
+			TTF:        jsonNumber(last.TTF),
+			FirstComp:  last.FirstComp,
+			FirstLabel: last.FirstLabel,
+			FirstTime:  jsonNumber(last.FirstTime),
+			MaxRate:    jsonNumber(last.MaxRate),
+		}
+		if last.SpecTime >= 0 {
+			c.SpecTime = jsonNumber(last.SpecTime)
+		}
+		p.LastCascade = c
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&p) //nolint:errcheck // best-effort response write
+}

@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"testing"
+
+	"emvia/internal/telemetry"
+	"emvia/internal/trace"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	oldReg := telemetry.Default()
+	defer telemetry.SetDefault(oldReg)
+
+	ring := trace.NewRing(4)
+	srv, err := Start("localhost:0", Options{Ring: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Before any activity: progress and last_cascade are null, and the
+	// response is valid JSON.
+	var p struct {
+		Progress *struct {
+			Label      string  `json:"label"`
+			Done       int64   `json:"done"`
+			Total      int64   `json:"total"`
+			ETASeconds float64 `json:"eta_seconds"`
+		} `json:"progress"`
+		TrialsCompleted int64 `json:"trials_completed"`
+		LastCascade     *struct {
+			Run      string `json:"run"`
+			Failures int    `json:"failures"`
+			TTF      any    `json:"ttf_seconds"`
+			SpecTime any    `json:"spec_time_seconds"`
+		} `json:"last_cascade"`
+	}
+	if err := json.Unmarshal(get(t, base+"/status"), &p); err != nil {
+		t.Fatalf("idle /status not JSON: %v", err)
+	}
+	if p.Progress != nil || p.LastCascade != nil || p.TrialsCompleted != 0 {
+		t.Fatalf("idle status = %+v", p)
+	}
+
+	// Feed progress (Start enabled telemetry+status) and a cascade with an
+	// infinite TTF — the canonical JSON-hostile value.
+	telemetry.Default().ProgressTick("mc", 42, 100)
+	tc := trace.New(trace.Options{Ring: ring})
+	run := tc.BeginRun("grid:IR-drop", 1)
+	tr := run.Trial(0)
+	tr.Begin(3)
+	tr.Fail(5, 1, "Plus-shaped(0,0)")
+	tr.End(math.Inf(1), 1)
+
+	if err := json.Unmarshal(get(t, base+"/status"), &p); err != nil {
+		t.Fatalf("active /status not JSON: %v", err)
+	}
+	if p.Progress == nil || p.Progress.Label != "mc" || p.Progress.Done != 42 || p.Progress.Total != 100 {
+		t.Fatalf("progress = %+v", p.Progress)
+	}
+	if p.TrialsCompleted != 1 || p.LastCascade == nil {
+		t.Fatalf("cascade status = %+v", p)
+	}
+	if p.LastCascade.Run != "grid:IR-drop" || p.LastCascade.Failures != 1 {
+		t.Fatalf("last cascade = %+v", p.LastCascade)
+	}
+	if p.LastCascade.TTF != "+Inf" {
+		t.Fatalf("infinite TTF rendered as %v, want \"+Inf\"", p.LastCascade.TTF)
+	}
+	if p.LastCascade.SpecTime != nil {
+		t.Fatalf("spec time = %v, want null (criterion never fired)", p.LastCascade.SpecTime)
+	}
+}
+
+func TestDebugEndpointsServed(t *testing.T) {
+	oldReg := telemetry.Default()
+	defer telemetry.SetDefault(oldReg)
+
+	srv, err := Start("localhost:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get(t, base+"/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["emvia"]; !ok {
+		t.Fatal("/debug/vars missing the emvia telemetry snapshot")
+	}
+	if body := get(t, base+"/debug/pprof/"); len(body) == 0 {
+		t.Fatal("/debug/pprof/ empty")
+	}
+	// No ring attached: /status must still answer.
+	if err := json.Unmarshal(get(t, base+"/status"), &struct{}{}); err != nil {
+		t.Fatalf("/status without ring: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"emvia/internal/telemetry"
+	"emvia/internal/trace"
 )
 
 // Pool is a fixed-width worker pool. The zero value and nil are both valid
@@ -75,6 +76,9 @@ func (p *Pool) Run(nblocks int, fn func(b int)) {
 		busy = reg.Counter(telemetry.ParBusyNanos)
 		run0 = time.Now()
 	}
+	// Trace span for the parallel dispatch only — the serial path above stays
+	// uninstrumented for the same hot-loop reason as telemetry.
+	runSpan := trace.Default().Span("par.run")
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
@@ -98,6 +102,7 @@ func (p *Pool) Run(nblocks int, fn func(b int)) {
 		}()
 	}
 	wg.Wait()
+	runSpan()
 	if reg != nil {
 		reg.Counter(telemetry.ParWallNanos).Add(int64(w) * int64(time.Since(run0)))
 	}

@@ -243,6 +243,13 @@ func (s *GridSystem) Failed() (bool, error) {
 	return false, fmt.Errorf("pdn: unknown criterion %d", int(s.cfg.Criterion))
 }
 
+// ComponentLabel names via array k by its pattern and mesh position, e.g.
+// "Plus-shaped(3,4)" (mc.ComponentLabeler — trace output only).
+func (s *GridSystem) ComponentLabel(k int) string {
+	v := s.cfg.Grid.Vias[k]
+	return fmt.Sprintf("%s(%d,%d)", v.Pattern, v.IX, v.IY)
+}
+
 // FailedCount returns the number of failed arrays in the current trial.
 func (s *GridSystem) FailedCount() int { return s.failedCount }
 
@@ -262,5 +269,5 @@ func AnalyzeTTF(cfg TTFConfig, trials int, seed int64) (*mc.Result, error) {
 	}
 	return mc.RunParallel(func() (mc.System, error) {
 		return NewSystem(cfg)
-	}, mc.Options{Trials: trials, Seed: seed})
+	}, mc.Options{Trials: trials, Seed: seed, TraceLabel: "grid:" + cfg.Criterion.String()})
 }

@@ -60,5 +60,11 @@ const (
 const (
 	MCTrialsPerSecond = "mc.trials_per_second"
 	ParUtilization    = "par.worker_utilization"
-	StressDiskHitRate = "core.stresscache.disk_hit_rate"
+	// The three disk-lookup rates partition every persistent stress-cache
+	// lookup: hit + miss + corrupt = 1. Splitting miss from corrupt matters
+	// operationally — a rising corrupt rate means damaged or stale cache
+	// files being silently recomputed, not just a cold cache.
+	StressDiskHitRate     = "core.stresscache.disk_hit_rate"
+	StressDiskMissRate    = "core.stresscache.disk_miss_rate"
+	StressDiskCorruptRate = "core.stresscache.disk_corrupt_rate"
 )

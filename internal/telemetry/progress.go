@@ -49,6 +49,9 @@ func (r *Registry) ProgressTick(label string, done, total int64) {
 	if r == nil {
 		return
 	}
+	if st := r.status.Load(); st != nil {
+		st.update(label, done, total)
+	}
 	s := r.progress.Load()
 	if s == nil {
 		return

@@ -50,6 +50,8 @@ func (s *Snapshot) derive() {
 	}
 	if lookups := s.Counters[StressDiskHits] + s.Counters[StressDiskMisses] + s.Counters[StressDiskBad]; lookups > 0 {
 		s.Derived[StressDiskHitRate] = float64(s.Counters[StressDiskHits]) / float64(lookups)
+		s.Derived[StressDiskMissRate] = float64(s.Counters[StressDiskMisses]) / float64(lookups)
+		s.Derived[StressDiskCorruptRate] = float64(s.Counters[StressDiskBad]) / float64(lookups)
 	}
 }
 

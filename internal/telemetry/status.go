@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Status is a point-in-time view of the most recent progress-reporting loop,
+// the payload behind the live HTTP monitor's /status endpoint.
+type Status struct {
+	// Label names the loop (e.g. "mc").
+	Label string `json:"label"`
+	// Done/Total are the loop's progress counters; Total may be 0 for
+	// open-ended loops.
+	Done  int64 `json:"done"`
+	Total int64 `json:"total"`
+	// Elapsed is the wall time since status collection was enabled.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// ETA estimates the remaining wall time from the current rate; 0 when
+	// unknown (no progress yet, or no total).
+	ETA time.Duration `json:"eta_ns"`
+}
+
+// statusState collects progress ticks with plain atomics so the per-tick cost
+// stays negligible against the rate-limited progress sink it rides on.
+type statusState struct {
+	start time.Time
+	label atomic.Pointer[string]
+	done  atomic.Int64
+	total atomic.Int64
+}
+
+func (st *statusState) update(label string, done, total int64) {
+	if p := st.label.Load(); p == nil || *p != label {
+		st.label.Store(&label)
+	}
+	st.done.Store(done)
+	st.total.Store(total)
+}
+
+// EnableStatus turns on status collection: every ProgressTick updates the
+// registry's Status. Idempotent; no-op on a nil registry.
+func (r *Registry) EnableStatus() {
+	if r == nil || r.status.Load() != nil {
+		return
+	}
+	r.status.CompareAndSwap(nil, &statusState{start: time.Now()})
+}
+
+// Status returns the latest progress view. ok is false on a nil registry,
+// when EnableStatus was never called, or before the first tick.
+func (r *Registry) Status() (s Status, ok bool) {
+	if r == nil {
+		return Status{}, false
+	}
+	st := r.status.Load()
+	if st == nil {
+		return Status{}, false
+	}
+	p := st.label.Load()
+	if p == nil {
+		return Status{}, false
+	}
+	s.Label = *p
+	s.Done = st.done.Load()
+	s.Total = st.total.Load()
+	s.Elapsed = time.Since(st.start)
+	if s.Done > 0 && s.Total > s.Done {
+		s.ETA = time.Duration(float64(s.Elapsed) / float64(s.Done) * float64(s.Total-s.Done))
+	}
+	return s, true
+}

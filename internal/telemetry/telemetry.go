@@ -33,6 +33,7 @@ type Registry struct {
 	hists    sync.Map // string → *Histogram
 
 	progress atomic.Pointer[progressSink]
+	status   atomic.Pointer[statusState]
 }
 
 // New returns an empty registry.

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLIConfig is the flag surface shared by the emgrid/emsweep/paperfigs CLIs.
+// Register the flags with RegisterFlags, then call CLISetup after flag.Parse.
+type CLIConfig struct {
+	// Out is the JSONL trace path ("-" = stdout, "" = no JSONL sink).
+	Out string
+	// Chrome is the Chrome trace_event JSON path ("" = no Chrome sink).
+	Chrome string
+	// NoSamples drops per-component TTF-sample events.
+	NoSamples bool
+	// RingSize is the live-ring capacity (last N trials). It is forced to at
+	// least the default whenever the HTTP monitor needs the ring; zero keeps
+	// the ring off unless another option needs it.
+	RingSize int
+}
+
+// RegisterFlags declares the -trace* flags on fs.
+func (c *CLIConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Out, "trace", "", "write a JSONL failure-cascade trace to `file` (\"-\" = stdout)")
+	fs.StringVar(&c.Chrome, "trace-chrome", "", "write a Chrome trace_event JSON trace to `file` (chrome://tracing, Perfetto)")
+	fs.BoolVar(&c.NoSamples, "trace-nosamples", false, "omit per-component TTF sample events from the trace")
+}
+
+// Active reports whether any option requires a tracer.
+func (c CLIConfig) Active() bool {
+	return c.Out != "" || c.Chrome != "" || c.RingSize > 0
+}
+
+// CLISetup builds sinks from the config, installs the process-wide tracer,
+// and records the trace artifacts in the manifest (when non-nil). It returns
+// the tracer's live ring (nil unless RingSize > 0) and a finish func that
+// flushes and closes everything, uninstalls the tracer, reports dropped
+// spans, and writes the manifest beside each artifact.
+//
+// When no option is active it installs nothing and finish only writes the
+// manifest (covering e.g. a -metrics-json artifact with no trace).
+func CLISetup(c CLIConfig, m *Manifest) (*Ring, func() error, error) {
+	var (
+		sinks []Sink
+		files []*os.File
+	)
+	fail := func(err error) (*Ring, func() error, error) {
+		for _, f := range files {
+			f.Close()
+		}
+		return nil, nil, err
+	}
+	if c.Out != "" {
+		if c.Out == "-" {
+			sinks = append(sinks, NewJSONLSink(os.Stdout))
+		} else {
+			f, err := os.Create(c.Out)
+			if err != nil {
+				return fail(fmt.Errorf("trace: %w", err))
+			}
+			files = append(files, f)
+			sinks = append(sinks, NewJSONLSink(f))
+		}
+		if m != nil {
+			m.Artifacts = append(m.Artifacts, c.Out)
+		}
+	}
+	if c.Chrome != "" {
+		f, err := os.Create(c.Chrome)
+		if err != nil {
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		files = append(files, f)
+		sinks = append(sinks, NewChromeSink(f))
+		if m != nil {
+			m.Artifacts = append(m.Artifacts, c.Chrome)
+		}
+	}
+	var ring *Ring
+	if c.RingSize > 0 {
+		ring = NewRing(c.RingSize)
+	}
+
+	if !c.Active() {
+		finish := func() error {
+			if m != nil {
+				return m.WriteBeside()
+			}
+			return nil
+		}
+		return nil, finish, nil
+	}
+
+	t := New(Options{Sinks: sinks, Ring: ring, DisableSamples: c.NoSamples})
+	SetDefault(t)
+	finish := func() error {
+		SetDefault(nil)
+		err := t.Close()
+		if n := t.SpansDropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "trace: %d stage spans dropped (span buffer full)\n", n)
+		}
+		if m != nil {
+			if merr := m.WriteBeside(); err == nil {
+				err = merr
+			}
+		}
+		return err
+	}
+	return ring, finish, nil
+}

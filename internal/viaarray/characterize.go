@@ -61,13 +61,23 @@ type CharResult struct {
 // lognormal TTF model. Trials follow the paper's N_trials (500 unless the
 // caller needs tighter tails).
 func Characterize(cfg Config, trials int, seed int64) (*CharResult, error) {
+	return CharacterizeNamed(cfg, trials, seed, "")
+}
+
+// CharacterizeNamed is Characterize with an explicit trace run label (e.g.
+// "array:Plus-shaped:3x3"); empty falls back to "viaarray".
+func CharacterizeNamed(cfg Config, trials int, seed int64, traceLabel string) (*CharResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if traceLabel == "" {
+		traceLabel = "viaarray"
 	}
 	res, err := mc.RunParallel(func() (mc.System, error) { return New(cfg) }, mc.Options{
 		Trials:          trials,
 		Seed:            seed,
 		RunToCompletion: true,
+		TraceLabel:      traceLabel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("viaarray: characterization MC: %w", err)

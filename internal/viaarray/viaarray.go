@@ -201,6 +201,12 @@ func (a *Array) NumComponents() int { return a.cfg.N * a.cfg.N }
 // viaIndex maps (col, row) to the flat component index.
 func (a *Array) viaIndex(col, row int) int { return row*a.cfg.N + col }
 
+// ComponentLabel names via i as "via(col,row)" for trace output
+// (mc.ComponentLabeler).
+func (a *Array) ComponentLabel(i int) string {
+	return fmt.Sprintf("via(%d,%d)", i%a.cfg.N, i/a.cfg.N)
+}
+
 // BeginTrial resets the network and samples fresh via TTFs at the trial-
 // start currents.
 func (a *Array) BeginTrial(rng *rand.Rand) error {
