@@ -28,7 +28,7 @@ lint:
 # (see scripts/bench_snapshot.sh and BENCH_1.json / BENCH_2.json).
 bench:
 	$(GO) test -run '^$$' \
-	    -bench 'BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve|BenchmarkFig1StressProfile|BenchmarkFig6Patterns|BenchmarkFig7ArraySize|BenchmarkFEAWorkers|BenchmarkStressCacheWarm' \
+	    -bench 'BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve|BenchmarkSparseCholeskyFactor|BenchmarkFig1StressProfile|BenchmarkFig6Patterns|BenchmarkFig7ArraySize|BenchmarkFEAWorkers|BenchmarkStressCacheWarm' \
 	    -benchmem -benchtime=100x -count=1 .
 
 bench-snapshot:

@@ -19,6 +19,8 @@ import (
 	"emvia/internal/korhonen"
 	"emvia/internal/pdn"
 	"emvia/internal/phys"
+	"emvia/internal/solver"
+	"emvia/internal/sparse"
 	"emvia/internal/stat"
 	"emvia/internal/viaarray"
 )
@@ -411,7 +413,7 @@ func BenchmarkAblationAging(b *testing.B) {
 // BenchmarkGridSolve measures the raw nodal-analysis solve across grid
 // sizes, the inner loop of the grid Monte Carlo.
 func BenchmarkGridSolve(b *testing.B) {
-	for _, nx := range []int{10, 20, 40} {
+	for _, nx := range []int{10, 20, 40, 80} {
 		b.Run(sizeName(nx), func(b *testing.B) {
 			g := benchGrid(b, nx)
 			b.ResetTimer()
@@ -426,6 +428,82 @@ func BenchmarkGridSolve(b *testing.B) {
 
 func sizeName(nx int) string {
 	return "nx" + string(rune('0'+nx/10)) + string(rune('0'+nx%10))
+}
+
+// benchLaplacian builds an nx×nx unit-edge mesh Laplacian (with a small
+// diagonal leak making it SPD) — the matrix shape of the power-grid MNA
+// systems, used to benchmark the sparse Cholesky kernel in isolation.
+func benchLaplacian(nx int) *sparse.CSR {
+	n := nx * nx
+	tr := sparse.NewTriplet(n, n, 5*n)
+	id := func(ix, iy int) int { return ix*nx + iy }
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < nx; iy++ {
+			i := id(ix, iy)
+			tr.Add(i, i, 1e-3)
+			if ix+1 < nx {
+				j := id(ix+1, iy)
+				tr.Add(i, i, 1)
+				tr.Add(j, j, 1)
+				tr.Add(i, j, -1)
+				tr.Add(j, i, -1)
+			}
+			if iy+1 < nx {
+				j := id(ix, iy+1)
+				tr.Add(i, i, 1)
+				tr.Add(j, j, 1)
+				tr.Add(i, j, -1)
+				tr.Add(j, i, -1)
+			}
+		}
+	}
+	return tr.ToCSR()
+}
+
+// BenchmarkSparseCholeskyFactor measures the sparse direct kernel on a
+// 64×64 mesh Laplacian (4096 unknowns, the nx40 power-grid scale): numeric
+// refactorization over the fixed AMD-ordered pattern, the triangular solve,
+// and one edge downdate + update round trip (the Monte-Carlo edit path).
+func BenchmarkSparseCholeskyFactor(b *testing.B) {
+	a := benchLaplacian(64)
+	sp, err := solver.NewSparseCholeskyFromCSR(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, _ := a.Dims()
+	rhs := make([]float64, n)
+	x := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1e-3 * float64(i%17)
+	}
+	b.Run("Refactor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := sp.RefactorFromCSR(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Solve", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := sp.SolveInto(x, rhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Update", func(b *testing.B) {
+		// One failure (downdate) and one repair (update) of an interior
+		// mesh edge per iteration, leaving the factor unchanged net.
+		fa, fb := 32*64+31, 32*64+32
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := sp.DowndateEdge(fa, fb, 1); err != nil {
+				b.Fatal(err)
+			}
+			sp.UpdateEdge(fa, fb, 1)
+		}
+	})
 }
 
 // BenchmarkWilkinson measures the lognormal-closure helper used in the TTF

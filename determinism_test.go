@@ -17,6 +17,7 @@ import (
 	"emvia/internal/mc"
 	"emvia/internal/pdn"
 	"emvia/internal/phys"
+	"emvia/internal/spice"
 	"emvia/internal/stat"
 	"emvia/internal/viaarray"
 )
@@ -137,6 +138,72 @@ func TestDeterminismMatrixGridMC(t *testing.T) {
 			t.Fatalf("Workers=%d: %v", w, err)
 		}
 		requireSameResult(t, "grid Workers="+strconv.Itoa(w), res, ref)
+	}
+}
+
+// TestDeterminismMatrixGridMCSparse repeats the grid matrix on the sparse
+// Cholesky backend with the production worker topology: one master system is
+// compiled and factored, every parallel worker runs on a Clone of it (the
+// AnalyzeTTF fast path), and the result must still match the serial engine
+// bit for bit at every worker count.
+func TestDeterminismMatrixGridMCSparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid Monte Carlo is slow under -short")
+	}
+	spice.SetDefaultSolver(spice.SolverSparse)
+	defer spice.SetDefaultSolver(spice.SolverDefault)
+
+	spec := pdn.PG1Spec()
+	spec.NX, spec.NY = 6, 6
+	spec.PadPeriod = 3
+	g, err := pdn.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const refViaAmps = 0.065
+	if err := g.Tune(0.05, refViaAmps); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(medYears float64) viaarray.TTFModel {
+		return viaarray.TTFModel{
+			Dist:       stat.LogNormal{Mu: math.Log(phys.YearsToSeconds(medYears)), Sigma: 0.35},
+			RefCurrent: refViaAmps,
+			FailK:      16,
+		}
+	}
+	cfg := pdn.TTFConfig{
+		Grid: g,
+		Models: map[cudd.Pattern]viaarray.TTFModel{
+			cudd.Plus:   mk(6),
+			cudd.TShape: mk(7),
+			cudd.LShape: mk(8),
+		},
+		Criterion:  pdn.IRDrop,
+		IRDropFrac: 0.10,
+	}
+	opt := mc.Options{Trials: 12, Seed: 7, Solver: "sparse"}
+
+	sys, err := pdn.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := mc.Run(sys, opt)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+
+	for _, w := range mcWorkerCounts {
+		master, err := pdn.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		popt := opt
+		popt.Workers = w
+		res, err := mc.RunParallel(func() (mc.System, error) { return master.Clone(), nil }, popt)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		requireSameResult(t, "grid sparse Workers="+strconv.Itoa(w), res, ref)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"emvia/internal/core"
 	"emvia/internal/monitor"
+	"emvia/internal/spice"
 	"emvia/internal/telemetry"
 	"emvia/internal/trace"
 )
@@ -24,6 +25,9 @@ type Config struct {
 	Trace     trace.CLIConfig
 	// HTTPAddr serves /status, /debug/vars and /debug/pprof when non-empty.
 	HTTPAddr string
+	// Solver selects the process-wide linear-solver backend
+	// (auto|dense|sparse|cg); empty keeps the built-in auto policy.
+	Solver string
 }
 
 // RegisterFlags declares every observability flag on fs.
@@ -33,6 +37,7 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Telemetry.Progress, "progress", false, "print periodic progress lines to stderr during long Monte-Carlo runs")
 	c.Trace.RegisterFlags(fs)
 	fs.StringVar(&c.HTTPAddr, "http", "", "serve the live monitor (/status, /debug/vars, /debug/pprof) on `addr`")
+	fs.StringVar(&c.Solver, "solver", "auto", "linear-solver backend: auto (dense below a size cutoff, sparse Cholesky above), dense, sparse, or cg")
 }
 
 // active is the manifest of the current run, readable by RecordFlags until
@@ -49,12 +54,19 @@ const monitorRingSize = 256
 // captured into the manifest (nil skips flag capture); command names the
 // binary in the manifest.
 func Setup(c Config, command string, fs *flag.FlagSet) (finish func() error, err error) {
+	mode, err := spice.ParseSolverMode(c.Solver)
+	if err != nil {
+		return nil, fmt.Errorf("-solver: %w", err)
+	}
+	spice.SetDefaultSolver(mode)
+
 	m := trace.NewManifest(command, os.Args[1:])
 	if fs != nil {
 		m.Config = trace.FlagConfig(fs)
 	}
 	m.MaterialHash = core.MaterialHash()
 	m.StressCacheKeyVersion = core.StressCacheKeyVersion()
+	m.Solver = spice.DefaultSolver().String()
 	if p := c.Telemetry.MetricsJSON; p != "" && p != "-" {
 		m.Artifacts = append(m.Artifacts, p)
 	}
@@ -118,5 +130,10 @@ func RecordFlags(fs *flag.FlagSet) {
 	}
 	if v, err := strconv.Atoi(m.Config["j"]); err == nil {
 		m.Workers = v
+	}
+	if v := m.Config["solver"]; v != "" {
+		if mode, err := spice.ParseSolverMode(v); err == nil {
+			m.Solver = mode.String()
+		}
 	}
 }

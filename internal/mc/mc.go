@@ -66,6 +66,13 @@ type Options struct {
 	// TraceLabel names this run in structured traces (see internal/trace);
 	// empty selects "mc".
 	TraceLabel string
+	// Solver records the linear-solver backend the run's systems use
+	// ("auto", "dense", "sparse" or "cg"; empty = unspecified). The engine
+	// itself never interprets it — the backend is a property of the System
+	// factory — but it is validated here and carried into the run-provenance
+	// manifest, so results stay attributable to a backend when the default
+	// changes.
+	Solver string
 }
 
 // Validate rejects impossible option values: Trials must be ≥ 1 and Workers
@@ -79,6 +86,11 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("mc: Workers must be ≥ 0 (0 = one per CPU), got %d", o.Workers)
+	}
+	switch o.Solver {
+	case "", "default", "auto", "dense", "sparse", "cg":
+	default:
+		return fmt.Errorf("mc: unknown solver backend %q (want auto, dense, sparse or cg)", o.Solver)
 	}
 	return nil
 }

@@ -94,6 +94,12 @@ type Grid struct {
 	Spec    GridSpec
 	Netlist *spice.Netlist
 	Vias    []ViaInfo
+
+	// Pristine-solve cache (see solveCircuit): the compiled circuit of the
+	// current netlist topology, reused across MaxViaCurrent calls with value
+	// pushes instead of recompilation.
+	cachedCircuit *spice.Circuit
+	cachedVolts   int
 }
 
 // PatternFor classifies an intersection by mesh position.

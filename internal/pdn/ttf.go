@@ -146,6 +146,26 @@ func NewSystem(cfg TTFConfig) (*GridSystem, error) {
 	return s, nil
 }
 
+// Clone returns an independent system for another Monte-Carlo worker. The
+// cloned circuit shares every immutable compile-time artifact (node tables,
+// sparsity pattern, slot map, symbolic factor structure) with the receiver
+// and copies the mutable numeric state, so per-worker systems skip the
+// compile + order + factor cost entirely while producing bit-identical
+// trials. Cloning only reads the receiver: concurrent clones of one master
+// are safe.
+func (s *GridSystem) Clone() *GridSystem {
+	circuit := s.circuit.Clone()
+	d := &GridSystem{
+		cfg:     s.cfg,
+		circuit: circuit,
+		i0:      s.i0, // pristine currents are write-once
+		op0:     s.op0.CloneFor(circuit),
+	}
+	d.opA = circuit.NewOP()
+	d.opB = circuit.NewOP()
+	return d
+}
+
 // NumComponents returns the via-array count.
 func (s *GridSystem) NumComponents() int { return len(s.cfg.Grid.Vias) }
 
@@ -262,12 +282,24 @@ func (s *GridSystem) WorstIRDropFrac() float64 {
 }
 
 // AnalyzeTTF runs the grid-level Monte Carlo (Algorithm 1, step 2) with
-// trials independent across workers.
+// trials independent across workers. One master system is compiled, ordered
+// and factored up front; every worker gets a clone of it, which shares the
+// immutable symbolic work and stays bit-identical to a serial run over the
+// master.
 func AnalyzeTTF(cfg TTFConfig, trials int, seed int64) (*mc.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	master, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
 	return mc.RunParallel(func() (mc.System, error) {
-		return NewSystem(cfg)
-	}, mc.Options{Trials: trials, Seed: seed, TraceLabel: "grid:" + cfg.Criterion.String()})
+		return master.Clone(), nil
+	}, mc.Options{
+		Trials:     trials,
+		Seed:       seed,
+		TraceLabel: "grid:" + cfg.Criterion.String(),
+		Solver:     master.circuit.SolverBackend(),
+	})
 }

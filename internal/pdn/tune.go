@@ -10,7 +10,7 @@ import (
 // MaxViaCurrent solves the pristine grid and returns the largest via-array
 // current magnitude (A) together with the worst IR-drop fraction.
 func (g *Grid) MaxViaCurrent() (maxAmps, irFrac float64, err error) {
-	c, err := spice.Compile(g.Netlist)
+	c, err := g.solveCircuit()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -24,6 +24,41 @@ func (g *Grid) MaxViaCurrent() (maxAmps, irFrac float64, err error) {
 		}
 	}
 	return maxAmps, op.WorstIRDropFrac(g.Spec.Vdd), nil
+}
+
+// solveCircuit returns a compiled circuit holding the current netlist
+// values. The compilation is cached on the grid: while the topology is
+// unchanged (same element counts and terminals — the invariant of Tune,
+// which only rescales Ohms and Amps), repeated calls push values into the
+// compiled system in place, so the pristine solve reuses the fixed pattern
+// and the cached direct factor instead of recompiling the netlist. Any
+// element-count change recompiles from scratch; callers that rewire
+// terminals at constant counts must drop the cache by clearing
+// Grid.cachedCircuit (no in-tree caller does).
+func (g *Grid) solveCircuit() (*spice.Circuit, error) {
+	nl := g.Netlist
+	c := g.cachedCircuit
+	if c == nil || c.NumResistors() != len(nl.Resistors) ||
+		c.NumCurrents() != len(nl.Currents) || g.cachedVolts != len(nl.Voltages) {
+		c, err := spice.Compile(nl)
+		if err != nil {
+			return nil, err
+		}
+		g.cachedCircuit = c
+		g.cachedVolts = len(nl.Voltages)
+		return c, nil
+	}
+	for i := range nl.Resistors {
+		if err := c.SetResistor(i, nl.Resistors[i].Ohms); err != nil {
+			return nil, err
+		}
+	}
+	for i := range nl.Currents {
+		if err := c.SetCurrent(i, nl.Currents[i].Amps); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // Tune adjusts the grid the way the paper tunes the benchmark decks: load

@@ -22,3 +22,10 @@ func recordDense(name string) {
 		r.Counter(name).Inc()
 	}
 }
+
+// recordSparse counts one sparse-Cholesky operation under name.
+func recordSparse(name string) {
+	if r := telemetry.Default(); r != nil {
+		r.Counter(name).Inc()
+	}
+}

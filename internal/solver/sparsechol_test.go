@@ -1,0 +1,387 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"emvia/internal/sparse"
+)
+
+// gridLaplacian builds the SPD conductance matrix of an nx×ny resistive mesh
+// with unit edge conductances and a small leak on every diagonal — the same
+// structure (5-point stencil plus gmin) the power-grid compiler produces, so
+// these tests exercise the exact pattern class the sparse path serves.
+func gridLaplacian(nx, ny int) *sparse.CSR {
+	n := nx * ny
+	tr := sparse.NewTriplet(n, n, 5*n)
+	id := func(ix, iy int) int { return ix*ny + iy }
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			i := id(ix, iy)
+			tr.Add(i, i, 1e-3)
+			if ix+1 < nx {
+				j := id(ix+1, iy)
+				tr.Add(i, i, 1)
+				tr.Add(j, j, 1)
+				tr.Add(i, j, -1)
+				tr.Add(j, i, -1)
+			}
+			if iy+1 < ny {
+				j := id(ix, iy+1)
+				tr.Add(i, i, 1)
+				tr.Add(j, j, 1)
+				tr.Add(i, j, -1)
+				tr.Add(j, i, -1)
+			}
+		}
+	}
+	return tr.ToCSR()
+}
+
+// applyEdgeDelta stamps a conductance change dg of edge (i, j) into the
+// matrix values, mirroring what the circuit engine's slot edits do.
+func applyEdgeDelta(a *sparse.CSR, i, j int, dg float64) {
+	a.AddAt(a.SlotIndex(i, i), dg)
+	a.AddAt(a.SlotIndex(j, j), dg)
+	a.AddAt(a.SlotIndex(i, j), -dg)
+	a.AddAt(a.SlotIndex(j, i), -dg)
+}
+
+func TestAMDPermutationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []*sparse.CSR{
+		gridLaplacian(15, 17),
+		laplacian1D(40),
+	}
+	spd, _ := randomSPD(rng, 30)
+	cases = append(cases, spd)
+	for ci, a := range cases {
+		perm := AMDOrder(a)
+		inv := InversePermutation(perm)
+		for i := range perm {
+			if perm[inv[i]] != i || inv[perm[i]] != i {
+				t.Fatalf("case %d: perm∘invperm is not the identity at %d", ci, i)
+			}
+		}
+	}
+}
+
+func TestAMDReducesGridFill(t *testing.T) {
+	a := gridLaplacian(20, 20)
+	n, _ := a.Dims()
+	natural := make([]int, n)
+	for i := range natural {
+		natural[i] = i
+	}
+	nat, err := NewSparseCholeskyOrdered(a, natural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd, err := NewSparseCholeskyFromCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 20×20 mesh in natural (banded) order fills the whole band; AMD must
+	// do clearly better for the sparse path to be worth having.
+	if amd.NNZ() >= nat.NNZ() {
+		t.Fatalf("AMD fill %d not below natural-order fill %d", amd.NNZ(), nat.NNZ())
+	}
+}
+
+func TestAMDDeterministic(t *testing.T) {
+	a := gridLaplacian(12, 9)
+	p1, p2 := AMDOrder(a), AMDOrder(a)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("ordering differs at %d: %d vs %d", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestSparseCholeskyMatchesDenseAndCG cross-checks the three backends on
+// random SPD systems: the sparse and dense factorizations are both exact, so
+// they must agree to rounding; CG is checked at its own tolerance.
+func TestSparseCholeskyMatchesDenseAndCG(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		n := 20 + trial*13
+		a, dense := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+
+		sp, err := NewSparseCholeskyFromCSR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := make([]float64, n)
+		if err := sp.SolveInto(xs, b); err != nil {
+			t.Fatal(err)
+		}
+
+		dc, err := NewDenseCholesky(dense, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xd, err := dc.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		xc, _, err := CG(a, b, Options{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if d := maxAbsDiff(xs, xd); d > 1e-10 {
+			t.Fatalf("n=%d: sparse vs dense max diff %g", n, d)
+		}
+		if d := maxAbsDiff(xs, xc); d > 1e-8 {
+			t.Fatalf("n=%d: sparse vs CG max diff %g", n, d)
+		}
+		if r := residual(a, xs, b); r > 1e-12 {
+			t.Fatalf("n=%d: sparse residual %g", n, r)
+		}
+	}
+}
+
+func TestSparseCholeskySolvesGrid(t *testing.T) {
+	a := gridLaplacian(25, 23)
+	n, _ := a.Dims()
+	rng := rand.New(rand.NewSource(3))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	sp, err := NewSparseCholeskyFromCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	if err := sp.SolveInto(x, b); err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, x, b); r > 1e-10 {
+		t.Fatalf("grid residual %g", r)
+	}
+}
+
+// TestSparseCholeskyUpdateDowndateMatchesRefactor drives the factor through
+// 1, 5 and 20 sequential edge downdates (EM failures) plus the matching
+// restores, comparing against a cold factorization of the edited matrix with
+// the same ordering after every edit — the acceptance bar of the incremental
+// engine (≤1e-10).
+func TestSparseCholeskyUpdateDowndateMatchesRefactor(t *testing.T) {
+	a := gridLaplacian(14, 14)
+	n, _ := a.Dims()
+	rng := rand.New(rand.NewSource(5))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	id := func(ix, iy int) int { return ix*14 + iy }
+
+	for _, edits := range []int{1, 5, 20} {
+		sp, err := NewSparseCholeskyFromCSR(a.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		edited := a.Clone()
+		for e := 0; e < edits; e++ {
+			// Interior horizontal edges, each failed once (dg = −1).
+			i, j := id(1+e%12, 2+e/12), id(2+e%12, 2+e/12)
+			applyEdgeDelta(edited, i, j, -1)
+			if err := sp.DowndateEdge(i, j, 1); err != nil {
+				t.Fatalf("edits=%d: downdate %d: %v", edits, e, err)
+			}
+
+			cold, err := NewSparseCholeskyOrdered(edited, sp.Perm())
+			if err != nil {
+				t.Fatalf("edits=%d: cold refactor after %d: %v", edits, e, err)
+			}
+			xi, xc := make([]float64, n), make([]float64, n)
+			if err := sp.SolveInto(xi, b); err != nil {
+				t.Fatal(err)
+			}
+			if err := cold.SolveInto(xc, b); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxAbsDiff(xi, xc); d > 1e-10 {
+				t.Fatalf("edits=%d: after edit %d incremental vs cold max diff %g", edits, e, d)
+			}
+		}
+		// Repair every failure (dg = +1) and compare against the pristine
+		// matrix: the round trip must come home.
+		for e := 0; e < edits; e++ {
+			i, j := id(1+e%12, 2+e/12), id(2+e%12, 2+e/12)
+			sp.UpdateEdge(i, j, 1)
+		}
+		cold, err := NewSparseCholeskyOrdered(a, sp.Perm())
+		if err != nil {
+			t.Fatal(err)
+		}
+		xi, xc := make([]float64, n), make([]float64, n)
+		if err := sp.SolveInto(xi, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := cold.SolveInto(xc, b); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(xi, xc); d > 1e-10 {
+			t.Fatalf("edits=%d: restore round trip max diff %g", edits, d)
+		}
+	}
+}
+
+// TestSparseCholeskyGroundedEdge exercises the single-terminal form of the
+// edge update (the other terminal is a pad or ground and drops out of u).
+func TestSparseCholeskyGroundedEdge(t *testing.T) {
+	a := gridLaplacian(9, 9)
+	n, _ := a.Dims()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	sp, err := NewSparseCholeskyFromCSR(a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := 40
+	s := math.Sqrt(0.5)
+	sp.UpdateEdge(node, -1, s) // extra 0.5 S to ground at one node
+	edited := a.Clone()
+	edited.AddAt(edited.SlotIndex(node, node), 0.5)
+	cold, err := NewSparseCholeskyOrdered(edited, sp.Perm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, xc := make([]float64, n), make([]float64, n)
+	if err := sp.SolveInto(xi, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.SolveInto(xc, b); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(xi, xc); d > 1e-10 {
+		t.Fatalf("grounded-edge update vs cold max diff %g", d)
+	}
+	sp.UpdateEdge(-1, -1, 1) // both terminals pinned: must be a no-op
+	if err := sp.DowndateEdge(-1, -1, 1); err != nil {
+		t.Fatalf("pinned-edge downdate: %v", err)
+	}
+}
+
+func TestSparseCholeskyDowndateRejectsIndefinite(t *testing.T) {
+	a := gridLaplacian(6, 6)
+	sp, err := NewSparseCholeskyFromCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing 3 S from a unit edge makes the matrix indefinite.
+	if err := sp.DowndateEdge(7, 13, math.Sqrt(3)); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("indefinite downdate returned %v, want ErrNotSPD", err)
+	}
+	// The factor is garbage now, but the workspace invariant must survive a
+	// failed downdate: a refactor from the intact matrix has to recover.
+	if err := sp.RefactorFromCSR(a); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := a.Dims()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	x := make([]float64, n)
+	if err := sp.SolveInto(x, b); err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, x, b); r > 1e-10 {
+		t.Fatalf("post-recovery residual %g", r)
+	}
+}
+
+func TestSparseCholeskyRejectsIndefiniteMatrix(t *testing.T) {
+	tr := sparse.NewTriplet(2, 2, 4)
+	tr.Add(0, 0, 1)
+	tr.Add(1, 1, -1)
+	tr.Add(0, 1, 0.5)
+	tr.Add(1, 0, 0.5)
+	if _, err := NewSparseCholeskyFromCSR(tr.ToCSR()); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("indefinite matrix returned %v, want ErrNotSPD", err)
+	}
+}
+
+func TestSparseCholeskySetAndClone(t *testing.T) {
+	a := gridLaplacian(8, 8)
+	n, _ := a.Dims()
+	sp, err := NewSparseCholeskyFromCSR(a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := sp.Clone()
+	sp.DowndateEdge(3, 11, 1) //nolint:errcheck // edge removal on a leaky mesh stays SPD
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	xp, xc := make([]float64, n), make([]float64, n)
+	if err := pristine.SolveInto(xp, b); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSparseCholeskyOrdered(a, sp.Perm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.SolveInto(xc, b); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(xp, xc); d > 1e-12 {
+		t.Fatalf("clone drifted with its source: max diff %g", d)
+	}
+	// Set restores the pristine factor by memcpy.
+	if err := sp.Set(pristine); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.SolveInto(xp, b); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(xp, xc); d > 1e-12 {
+		t.Fatalf("Set did not restore the factor: max diff %g", d)
+	}
+	if err := sp.Set(&SparseCholesky{n: 3}); err == nil {
+		t.Fatal("Set accepted a mismatched factor")
+	}
+}
+
+// TestSparseCholeskyZeroAlloc pins the allocation-free contract of every
+// steady-state operation: refactor, solve, and edge up/downdates.
+func TestSparseCholeskyZeroAlloc(t *testing.T) {
+	a := gridLaplacian(12, 12)
+	n, _ := a.Dims()
+	sp, err := NewSparseCholeskyFromCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	if allocs := testing.AllocsPerRun(10, func() {
+		if err := sp.RefactorFromCSR(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.SolveInto(x, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.DowndateEdge(17, 29, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		sp.UpdateEdge(17, 29, 0.5)
+	}); allocs != 0 {
+		t.Fatalf("steady-state sparse ops allocated %v times per run", allocs)
+	}
+}

@@ -88,8 +88,7 @@ func (t *Triplet) ToCSR() *CSR {
 	w := 0
 	for i := 0; i < t.nrows; i++ {
 		lo, hi := ptr[i], ptr[i+1]
-		row := rowView{cols[lo:hi], vals[lo:hi]}
-		sort.Sort(row)
+		sortRow(cols[lo:hi], vals[lo:hi])
 		outPtr[i] = w
 		for k := lo; k < hi; k++ {
 			if w > outPtr[i] && cols[w-1] == cols[k] {
@@ -111,16 +110,23 @@ func (t *Triplet) ToCSR() *CSR {
 	}
 }
 
-type rowView struct {
-	cols []int
-	vals []float64
-}
-
-func (r rowView) Len() int           { return len(r.cols) }
-func (r rowView) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
-func (r rowView) Swap(i, j int) {
-	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
-	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+// sortRow sorts one row's (column, value) pairs by column with an in-place
+// insertion sort. Stamped rows are short (a handful of entries for nodal
+// analysis, tens for FEM), where insertion sort beats the generic sort and —
+// unlike sort.Sort with an interface receiver — allocates nothing, which
+// matters because ToCSR runs once per matrix row.
+func sortRow(cols []int, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1] = cols[j]
+			vals[j+1] = vals[j]
+			j--
+		}
+		cols[j+1] = c
+		vals[j+1] = v
+	}
 }
 
 // CSR is a compressed sparse row matrix with column indices sorted within
@@ -372,6 +378,17 @@ func (m *CSR) Clone() *CSR {
 	vals := make([]float64, len(m.vals))
 	copy(vals, m.vals)
 	return &CSR{nrows: m.nrows, ncols: m.ncols, ptr: ptr, cols: cols, vals: vals}
+}
+
+// ShallowCloneValues returns a copy of the matrix that shares the immutable
+// sparsity pattern (row pointers and column indices) with the receiver but
+// owns a private copy of the values. Callers that maintain one fixed pattern
+// across many workers (per-worker circuit clones) use it to avoid duplicating
+// the structural arrays; neither copy may mutate the pattern.
+func (m *CSR) ShallowCloneValues() *CSR {
+	vals := make([]float64, len(m.vals))
+	copy(vals, m.vals)
+	return &CSR{nrows: m.nrows, ncols: m.ncols, ptr: m.ptr, cols: m.cols, vals: vals}
 }
 
 // LowerTriangle returns the lower triangle (including the diagonal) of the

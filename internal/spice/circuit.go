@@ -6,6 +6,7 @@ import (
 
 	"emvia/internal/solver"
 	"emvia/internal/sparse"
+	"emvia/internal/trace"
 )
 
 // Tunables of the incremental re-solve engine.
@@ -18,6 +19,14 @@ const (
 	// triangular solves beat CG iteration, and failure edits become O(n²)
 	// factor updates instead of fresh Krylov solves.
 	defaultDirectMaxNodes = 256
+	// sparseUpdateBudget caps how many rank-one factor updates may accumulate
+	// between solves on the sparse direct path. A failure cascade edits one
+	// resistor per solve and never comes near it; a bulk value push (load
+	// re-tuning rescales every wire) would cost thousands of etree-path
+	// updates, where a single refactorization over the static structure is
+	// far cheaper — so past the budget the factor is just marked stale and
+	// the next solve refactors once.
+	sparseUpdateBudget = 32
 	// precondRefreshEdits is the staleness budget K: a Refreshable
 	// preconditioner is refactored in place once this many resistor edits
 	// have accumulated since it last matched the matrix. Below the budget
@@ -41,6 +50,11 @@ type Circuit struct {
 	// It is consulted when the solve pattern is first compiled, so set it
 	// before the first solve.
 	DirectMaxNodes int
+	// Solver selects the backend. The zero value defers to the process-wide
+	// default (normally SolverAuto: dense up to DirectMaxNodes, sparse
+	// Cholesky above). Like DirectMaxNodes it is consulted when the solve
+	// pattern is first compiled.
+	Solver SolverMode
 
 	names []string
 	index map[string]int
@@ -121,6 +135,19 @@ type assembly struct {
 	chol0        *solver.DenseCholesky
 	w            []float64 // rank-one update scratch
 	needRefactor bool      // a downdate broke down; refactor from mat lazily
+
+	// Sparse direct path (large grids): fill-reducing-ordered sparse Cholesky
+	// factor maintained by Davis–Hager edge up/downdates; schol0 is the
+	// pristine factor restored at trial reset by memcpy. Unlike the dense
+	// path the factor engages eagerly on the first solve — above the dense
+	// ceiling the symbolic-plus-numeric factorization already beats a cold
+	// preconditioned CG solve, and every re-solve after it is two triangular
+	// sweeps over nnz(L). needRefactor is shared with the dense path (only
+	// one direct backend is ever active).
+	sparseDirect bool
+	schol        *solver.SparseCholesky
+	schol0       *solver.SparseCholesky
+	pendingEdits int // factor updates since the last solve (sparseUpdateBudget)
 
 	// Iterative-path scratch: CG workspace and the warm-start vector.
 	work solver.Workspace
@@ -312,12 +339,62 @@ func (c *Circuit) compile() {
 	if limit == 0 {
 		limit = defaultDirectMaxNodes
 	}
-	if n > 0 && limit > 0 && n <= limit {
-		a.direct = true
+	mode := c.Solver
+	if mode == SolverDefault {
+		mode = DefaultSolver()
+	}
+	switch mode {
+	case SolverDense:
+		a.direct = n > 0
+	case SolverSparse:
+		a.sparseDirect = n > 0
+	case SolverCG:
+		// Neither direct path; preconditioned CG handles everything.
+	default: // SolverAuto
+		if n > 0 && limit > 0 && n <= limit {
+			a.direct = true
+		} else if n > 0 {
+			a.sparseDirect = true
+		}
+	}
+	if a.direct {
 		a.w = make([]float64, n)
 	}
 	a.work.Reserve(n)
 	a.x0 = make([]float64, n)
+}
+
+// SolverBackend reports the backend the compiled circuit actually uses
+// ("dense", "sparse" or "cg"); before the first solve it reports how the
+// current configuration would resolve. Factorization failures downgrade a
+// direct backend to CG, and this reflects that.
+func (c *Circuit) SolverBackend() string {
+	if c.asm != nil {
+		switch {
+		case c.asm.direct:
+			return SolverDense.String()
+		case c.asm.sparseDirect:
+			return SolverSparse.String()
+		default:
+			return SolverCG.String()
+		}
+	}
+	mode := c.Solver
+	if mode == SolverDefault {
+		mode = DefaultSolver()
+	}
+	if mode == SolverAuto {
+		limit := c.DirectMaxNodes
+		if limit == 0 {
+			limit = defaultDirectMaxNodes
+		}
+		if limit > 0 && c.nFree <= limit {
+			mode = SolverDense
+		} else {
+			mode = SolverSparse
+		}
+	}
+	return mode.String()
 }
 
 // ensureSlots lazily compiles the incremental-edit machinery: the
@@ -406,6 +483,30 @@ func (c *Circuit) editResistor(i int, dg float64) {
 	c.applyDelta(sl, dg)
 	c.editsSinceRefresh++
 	c.met.slotEdits.Inc()
+	if a.sparseDirect {
+		if a.schol != nil && !a.needRefactor {
+			a.pendingEdits++
+			if a.pendingEdits > sparseUpdateBudget {
+				// A bulk edit burst: one refactorization at the next solve
+				// beats continuing to chase it with rank-one updates.
+				a.needRefactor = true
+				return
+			}
+			// The edit is rank-one along a structural edge of A, so the
+			// sparse factor absorbs it along the elimination-tree path —
+			// O(path × column nnz) instead of a refactorization or a fresh
+			// Krylov solve.
+			s := math.Sqrt(math.Abs(dg))
+			if dg > 0 {
+				a.schol.UpdateEdge(sl.fa, sl.fb, s)
+			} else if err := a.schol.DowndateEdge(sl.fa, sl.fb, s); err != nil {
+				// Cancellation broke the downdate; the CSR values are always
+				// correct, so refactor from them at the next solve.
+				a.needRefactor = true
+			}
+		}
+		return
+	}
 	if a.direct {
 		if a.chol != nil && !a.needRefactor {
 			// The edit is rank-one: ΔA = dg·u·uᵀ with u = e_fa − e_fb
@@ -503,6 +604,23 @@ func (c *Circuit) ResetResistors() {
 	a.mat.SetValues(a.mat0)
 	copy(a.rhs, a.rhs0)
 	a.gen++
+	if a.sparseDirect {
+		a.pendingEdits = 0
+		if a.schol0 != nil {
+			// Pristine factor restored by memcpy — no refactorization.
+			a.schol.Set(a.schol0) //nolint:errcheck // clone shares the structure
+			a.needRefactor = false
+		} else if err := c.ensureSparseFactor(); err != nil {
+			// Matrix values are pristine, so a factorization failure here
+			// means the sparse path cannot work at all; fall back to CG.
+			a.sparseDirect = false
+		} else {
+			// First trial reset: mat holds pristine values, so the factor
+			// just built is the pristine one — snapshot it for later resets.
+			a.schol0 = a.schol.Clone()
+		}
+		return
+	}
 	if a.direct {
 		if a.chol0 != nil {
 			// Pristine factor restored by memcpy — no refactorization.
@@ -532,6 +650,116 @@ func (c *Circuit) ResetResistors() {
 		c.editsSinceRefresh = 0
 		c.precondIters = -1
 	}
+}
+
+// SetCurrent replaces the drive of current source i (netlist order). A load
+// change only moves the right-hand side — the conductance matrix and any
+// cached factor are untouched — so re-tuning loads on a compiled circuit
+// costs O(1) per source instead of a recompilation. The change re-baselines
+// the circuit: ResetResistors keeps the new load (current sources are not
+// part of the resistor-failure snapshot).
+func (c *Circuit) SetCurrent(i int, amps float64) error {
+	if i < 0 || i >= len(c.cur) {
+		return fmt.Errorf("spice: current source index %d out of range", i)
+	}
+	s := &c.cur[i]
+	d := amps - s.amps
+	if d == 0 {
+		return nil
+	}
+	s.amps = amps
+	if c.asm == nil {
+		return nil // compile stamps the new value
+	}
+	a := c.asm
+	if s.a >= 0 {
+		if fi := c.freeIdx[s.a]; fi >= 0 {
+			a.rhs[fi] -= d
+			if a.rhs0 != nil {
+				a.rhs0[fi] -= d
+			}
+		}
+	}
+	if s.b >= 0 {
+		if fi := c.freeIdx[s.b]; fi >= 0 {
+			a.rhs[fi] += d
+			if a.rhs0 != nil {
+				a.rhs0[fi] += d
+			}
+		}
+	}
+	return nil
+}
+
+// NumCurrents returns the current-source count (compile order = netlist
+// order).
+func (c *Circuit) NumCurrents() int { return len(c.cur) }
+
+// Clone returns an independent circuit that shares every immutable
+// compile-time artifact with the receiver — node tables, sparsity pattern,
+// per-resistor slot map, pristine snapshots, and the symbolic structure of
+// the sparse factor — while copying all mutable numeric state (matrix
+// values, RHS, resistor table, factor values). A clone solves and edits
+// independently of its source and produces bit-identical results from the
+// same state, which is what lets mc.RunParallel hand each worker a clone
+// instead of recompiling and refactoring per worker. Cloning only reads the
+// receiver, so concurrent clones of one master are safe; cloning and
+// mutating the same circuit concurrently is not.
+func (c *Circuit) Clone() *Circuit {
+	d := &Circuit{
+		Tol:            c.Tol,
+		DirectMaxNodes: c.DirectMaxNodes,
+		Solver:         c.Solver,
+		names:          c.names,
+		index:          c.index,
+		fixed:          c.fixed,
+		freeIdx:        c.freeIdx,
+		nFree:          c.nFree,
+		res:            append([]cResistor(nil), c.res...),
+		cur:            append([]cCurrent(nil), c.cur...),
+		gmin:           c.gmin,
+		met:            c.met,
+	}
+	a := c.asm
+	if a == nil {
+		return d
+	}
+	b := &assembly{
+		mat:          a.mat.ShallowCloneValues(),
+		rhs:          append([]float64(nil), a.rhs...),
+		slots:        a.slots, // read-only once built
+		gen:          a.gen,
+		mat0:         a.mat0, // pristine snapshots are write-once
+		res0:         a.res0,
+		direct:       a.direct,
+		sparseDirect: a.sparseDirect,
+		needRefactor: a.needRefactor,
+		pendingEdits: a.pendingEdits,
+	}
+	if a.rhs0 != nil {
+		// rhs0 is the one snapshot that can move after it is taken
+		// (SetCurrent re-baselines loads), so the clone owns a copy.
+		b.rhs0 = append([]float64(nil), a.rhs0...)
+	}
+	if a.chol != nil {
+		b.chol = a.chol.Clone()
+	}
+	if a.chol0 != nil {
+		b.chol0 = a.chol0.Clone()
+	}
+	if a.schol != nil {
+		b.schol = a.schol.Clone()
+	}
+	if a.schol0 != nil {
+		b.schol0 = a.schol0.Clone()
+	}
+	if a.direct {
+		b.w = make([]float64, c.nFree)
+	}
+	b.work.Reserve(c.nFree)
+	b.x0 = make([]float64, c.nFree)
+	d.asm = b
+	return d
 }
 
 // OP is a DC operating point.
@@ -586,8 +814,30 @@ func (c *Circuit) SolveDCInto(dst, prev *OP) error {
 	a := c.asm
 	n := c.nFree
 
-	// The direct path engages only once there is re-solve activity (an edit
-	// or a reset): a one-shot cold solve stays on CG and never pays the
+	// The sparse direct path engages eagerly: above the dense ceiling the
+	// AMD-ordered factorization beats even a single cold CG solve, and its
+	// cost is amortized across every re-solve that follows.
+	if a.sparseDirect {
+		if a.schol == nil || a.needRefactor {
+			if err := c.ensureSparseFactor(); err != nil {
+				// The sparse factorization failed; fall back to CG permanently.
+				a.sparseDirect = false
+			}
+		}
+		if a.sparseDirect {
+			a.work.Reserve(n)
+			if err := a.schol.SolveInto(a.work.X, a.rhs); err != nil {
+				return fmt.Errorf("spice: DC solve: %w", err)
+			}
+			a.pendingEdits = 0
+			c.met.sparseSolves.Inc()
+			c.scatter(dst, a.work.X)
+			return nil
+		}
+	}
+
+	// The dense direct path engages only once there is re-solve activity (an
+	// edit or a reset): a one-shot cold solve stays on CG and never pays the
 	// O(n³) factorization.
 	useDirect := a.direct && (a.chol != nil || a.gen > 0)
 	if useDirect && (a.chol == nil || a.needRefactor) {
@@ -675,6 +925,30 @@ func (c *Circuit) ensureFactor() error {
 	return nil
 }
 
+// ensureSparseFactor builds (or refactors, after a downdate breakdown) the
+// cached sparse factor from the current matrix values. The first build pays
+// the AMD ordering and symbolic analysis; refactorizations reuse the static
+// structure and allocate nothing.
+func (c *Circuit) ensureSparseFactor() error {
+	a := c.asm
+	done := trace.Default().Span("spice.sparse.factor")
+	defer done()
+	t0 := c.met.factorSeconds.Start()
+	if a.schol == nil {
+		schol, err := solver.NewSparseCholeskyFromCSR(a.mat)
+		if err != nil {
+			return err
+		}
+		a.schol = schol
+	} else if err := a.schol.RefactorFromCSR(a.mat); err != nil {
+		return err
+	}
+	c.met.factorSeconds.ObserveSince(t0)
+	a.needRefactor = false
+	a.pendingEdits = 0
+	return nil
+}
+
 // refreshPrecond brings the cached preconditioner up to date with the
 // current matrix, in place when it supports that, and resets the staleness
 // accounting and the iteration baseline.
@@ -700,6 +974,14 @@ func (c *Circuit) scatter(op *OP, x []float64) {
 			op.volts[i] = c.fixed[i]
 		}
 	}
+}
+
+// CloneFor returns a copy of the operating point bound to clone, which must
+// be a Clone of the circuit that produced it (same node table). Rebinding
+// matters for warm starts: SolveDCInto only uses prev when it belongs to the
+// same circuit, so a cloned system must carry cloned operating points.
+func (op *OP) CloneFor(clone *Circuit) *OP {
+	return &OP{c: clone, volts: append([]float64(nil), op.volts...), stats: op.stats}
 }
 
 // Voltage returns the voltage of a named node.

@@ -144,6 +144,181 @@ func TestIncrementalMatchesColdCG(t *testing.T) {
 	})
 }
 
+// TestIncrementalMatchesColdSparse pins the sparse up/downdate path against
+// cold refactorization: the incremental circuit chases 20 failures with
+// rank-one downdates of its AMD-ordered factor while the reference refactors
+// from scratch at each milestone.
+func TestIncrementalMatchesColdSparse(t *testing.T) {
+	crossCheckIncremental(t, func(c *Circuit) {
+		c.Solver = SolverSparse
+	})
+}
+
+// TestSolverBackendsAgree solves the same pristine mesh on every backend and
+// compares all node voltages pairwise. The direct backends are exact; CG at
+// Tol 1e-13 must land within 1e-8 of them.
+func TestSolverBackendsAgree(t *testing.T) {
+	nl := meshNetlist(t, 10)
+	volts := map[string][]float64{}
+	for _, mode := range []SolverMode{SolverDense, SolverSparse, SolverCG} {
+		c, err := Compile(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Solver = mode
+		c.Tol = 1e-13
+		_, v := solveAll(t, c, nil)
+		if got := c.SolverBackend(); got != mode.String() {
+			t.Errorf("SolverBackend() = %q after solving with %v", got, mode)
+		}
+		volts[mode.String()] = v
+	}
+	for _, pair := range [][2]string{{"dense", "sparse"}, {"dense", "cg"}, {"sparse", "cg"}} {
+		va, vb := volts[pair[0]], volts[pair[1]]
+		worst := 0.0
+		for i := range va {
+			if d := math.Abs(va[i]-vb[i]) / (1 + math.Abs(vb[i])); d > worst {
+				worst = d
+			}
+		}
+		t.Logf("%s vs %s: worst relative deviation %.2e", pair[0], pair[1], worst)
+		if worst > 1e-8 {
+			t.Errorf("%s and %s disagree by %g, want ≤ 1e-8", pair[0], pair[1], worst)
+		}
+	}
+}
+
+// TestCloneBitIdenticalSparse drives a sparse master and its clone through
+// the same failure sequence and demands bit-identical voltages at every
+// step: the Monte-Carlo workers rely on Clone preserving the exact floating-
+// point trajectory of the master.
+func TestCloneBitIdenticalSparse(t *testing.T) {
+	nl := meshNetlist(t, 10)
+	master, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master.Solver = SolverSparse
+	opM, _ := solveAll(t, master, nil) // builds the shared factor
+	clone := master.Clone()
+	if got, want := clone.SolverBackend(), master.SolverBackend(); got != want {
+		t.Fatalf("clone backend %q, master %q", got, want)
+	}
+	opC, vC := solveAll(t, clone, nil)
+	_, vM := solveAll(t, master, opM)
+	for i := range vM {
+		if vM[i] != vC[i] {
+			t.Fatalf("pristine node %d: master %v clone %v (not bit-identical)", i, vM[i], vC[i])
+		}
+	}
+	for step, ri := range meshFailures(t, 10)[:8] {
+		if err := master.DisableResistor(ri); err != nil {
+			t.Fatal(err)
+		}
+		if err := clone.DisableResistor(ri); err != nil {
+			t.Fatal(err)
+		}
+		opM, vM = solveAll(t, master, opM)
+		opC, vC = solveAll(t, clone, opC)
+		for i := range vM {
+			if vM[i] != vC[i] {
+				t.Fatalf("step %d node %d: master %v clone %v (not bit-identical)", step, i, vM[i], vC[i])
+			}
+		}
+	}
+	// Per-trial reset must restore both to the same pristine state.
+	master.ResetResistors()
+	clone.ResetResistors()
+	_, vM = solveAll(t, master, nil)
+	_, vC = solveAll(t, clone, nil)
+	for i := range vM {
+		if vM[i] != vC[i] {
+			t.Fatalf("post-reset node %d: master %v clone %v", i, vM[i], vC[i])
+		}
+	}
+}
+
+// TestSetCurrentMatchesRecompile checks the load-push path used by the tuner:
+// editing a current source in place must match a fresh compile of the edited
+// netlist, and the edit must survive ResetResistors (it is a load change, not
+// a resistor trial edit).
+func TestSetCurrentMatchesRecompile(t *testing.T) {
+	nl := meshNetlist(t, 8)
+	c, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Solver = SolverSparse
+	solveAll(t, c, nil)
+	if got, want := c.NumCurrents(), len(nl.Currents); got != want {
+		t.Fatalf("NumCurrents() = %d, want %d", got, want)
+	}
+	for i := range nl.Currents {
+		if err := c.SetCurrent(i, nl.Currents[i].Amps*1.7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.ResetResistors() // must keep the new loads
+	_, vGot := solveAll(t, c, nil)
+
+	edited := *nl
+	edited.Currents = append([]CurrentSource(nil), nl.Currents...)
+	for i := range edited.Currents {
+		edited.Currents[i].Amps *= 1.7
+	}
+	ref, err := Compile(&edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Solver = SolverSparse
+	_, vWant := solveAll(t, ref, nil)
+	for i := range vGot {
+		if d := math.Abs(vGot[i]-vWant[i]) / (1 + math.Abs(vWant[i])); d > 1e-10 {
+			t.Fatalf("node %d: pushed %g vs recompiled %g (rel %g)", i, vGot[i], vWant[i], d)
+		}
+	}
+	if err := c.SetCurrent(-1, 0); err == nil {
+		t.Error("SetCurrent(-1) did not fail")
+	}
+}
+
+// TestSparseUpdateBudgetRefactors pushes more edits between solves than the
+// up/downdate budget allows and checks the deferred refactorization still
+// lands on the cold-compile answer.
+func TestSparseUpdateBudgetRefactors(t *testing.T) {
+	nl := meshNetlist(t, 10)
+	c, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Solver = SolverSparse
+	solveAll(t, c, nil)
+	// Rescale every resistor: far more edits than sparseUpdateBudget.
+	for i := range nl.Resistors {
+		if err := c.SetResistor(i, nl.Resistors[i].Ohms*1.31); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, vGot := solveAll(t, c, nil)
+
+	edited := *nl
+	edited.Resistors = append([]Resistor(nil), nl.Resistors...)
+	for i := range edited.Resistors {
+		edited.Resistors[i].Ohms *= 1.31
+	}
+	ref, err := Compile(&edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Solver = SolverSparse
+	_, vWant := solveAll(t, ref, nil)
+	for i := range vGot {
+		if d := math.Abs(vGot[i]-vWant[i]) / (1 + math.Abs(vWant[i])); d > 1e-10 {
+			t.Fatalf("node %d: bulk-edited %g vs recompiled %g (rel %g)", i, vGot[i], vWant[i], d)
+		}
+	}
+}
+
 func TestResistorCurrentZeroWhenDisabled(t *testing.T) {
 	nl := meshNetlist(t, 8)
 	c, err := Compile(nl)
@@ -292,6 +467,7 @@ func TestSolveDCIncrementalAllocs(t *testing.T) {
 		configure func(c *Circuit)
 	}{
 		{"direct", func(c *Circuit) { c.DirectMaxNodes = 1024 }},
+		{"sparse", func(c *Circuit) { c.Solver = SolverSparse }},
 		{"cg", func(c *Circuit) { c.DirectMaxNodes = -1 }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

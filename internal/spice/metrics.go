@@ -7,11 +7,13 @@ import "emvia/internal/telemetry"
 // hot paths record through cached pointers — with telemetry disabled every
 // handle is nil and each record call is a nil-receiver no-op.
 type circuitMetrics struct {
-	slotEdits    *telemetry.Counter
-	resets       *telemetry.Counter
-	directSolves *telemetry.Counter
-	cgSolves     *telemetry.Counter
-	refreshes    *telemetry.Counter
+	slotEdits     *telemetry.Counter
+	resets        *telemetry.Counter
+	directSolves  *telemetry.Counter
+	sparseSolves  *telemetry.Counter
+	cgSolves      *telemetry.Counter
+	refreshes     *telemetry.Counter
+	factorSeconds *telemetry.Histogram
 }
 
 // newCircuitMetrics snapshots the process-wide registry into per-circuit
@@ -20,10 +22,12 @@ func newCircuitMetrics() circuitMetrics {
 	r := telemetry.Default() // nil when disabled: all handles stay nil
 	r.Counter(telemetry.SpiceCompiles).Inc()
 	return circuitMetrics{
-		slotEdits:    r.Counter(telemetry.SpiceSlotEdits),
-		resets:       r.Counter(telemetry.SpiceResets),
-		directSolves: r.Counter(telemetry.SpiceDirectSolves),
-		cgSolves:     r.Counter(telemetry.SpiceCGSolves),
-		refreshes:    r.Counter(telemetry.SpicePrecondRefreshes),
+		slotEdits:     r.Counter(telemetry.SpiceSlotEdits),
+		resets:        r.Counter(telemetry.SpiceResets),
+		directSolves:  r.Counter(telemetry.SpiceDirectSolves),
+		sparseSolves:  r.Counter(telemetry.SpiceSparseSolves),
+		cgSolves:      r.Counter(telemetry.SpiceCGSolves),
+		refreshes:     r.Counter(telemetry.SpicePrecondRefreshes),
+		factorSeconds: r.Histogram(telemetry.SpiceFactorSeconds),
 	}
 }

@@ -47,11 +47,17 @@ type Netlist struct {
 	Voltages  []VoltageSource
 }
 
-// GroundNames lists the node spellings treated as ground.
-var groundNames = map[string]bool{"0": true, "gnd": true, "GND": true}
-
-// IsGround reports whether a node name denotes the ground node.
-func IsGround(name string) bool { return groundNames[name] }
+// IsGround reports whether a node name denotes the ground node ("0", "gnd"
+// or "GND"). A string switch instead of a map lookup: this predicate runs
+// once per terminal of every element on each compile, where hashing the node
+// name was a measurable slice of the compile cost.
+func IsGround(name string) bool {
+	switch name {
+	case "0", "gnd", "GND":
+		return true
+	}
+	return false
+}
 
 // Parse reads a SPICE deck. Supported cards: R/I/V elements, `*` comments,
 // `.op` and `.end` directives (ignored), blank lines. Names and directives
@@ -135,7 +141,7 @@ func (nl *Netlist) Write(w io.Writer) error {
 
 // Nodes returns all non-ground node names in sorted order.
 func (nl *Netlist) Nodes() []string {
-	set := map[string]bool{}
+	set := make(map[string]bool, 2*len(nl.Resistors))
 	add := func(n string) {
 		if !IsGround(n) {
 			set[n] = true

@@ -1,0 +1,79 @@
+package spice
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// SolverMode selects the linear-solver backend of a compiled circuit.
+type SolverMode int32
+
+// Solver backends. The zero value defers to the process default (normally
+// auto), so existing code that never sets Circuit.Solver keeps its behavior
+// while the -solver CLI flag can steer every circuit in the process.
+const (
+	// SolverDefault resolves to the process-wide default (SetDefaultSolver).
+	SolverDefault SolverMode = iota
+	// SolverAuto picks per circuit: dense Cholesky up to DirectMaxNodes free
+	// nodes, sparse Cholesky above it. CG remains the fallback when a
+	// factorization fails.
+	SolverAuto
+	// SolverDense forces the dense Cholesky direct path regardless of size.
+	SolverDense
+	// SolverSparse forces the sparse Cholesky direct path regardless of size.
+	SolverSparse
+	// SolverCG forces preconditioned conjugate gradients.
+	SolverCG
+)
+
+// String returns the flag spelling of the mode.
+func (m SolverMode) String() string {
+	switch m {
+	case SolverDefault:
+		return "default"
+	case SolverAuto:
+		return "auto"
+	case SolverDense:
+		return "dense"
+	case SolverSparse:
+		return "sparse"
+	case SolverCG:
+		return "cg"
+	}
+	return fmt.Sprintf("spice.SolverMode(%d)", int32(m))
+}
+
+// ParseSolverMode parses a -solver flag value.
+func ParseSolverMode(s string) (SolverMode, error) {
+	switch s {
+	case "", "default":
+		return SolverDefault, nil
+	case "auto":
+		return SolverAuto, nil
+	case "dense":
+		return SolverDense, nil
+	case "sparse":
+		return SolverSparse, nil
+	case "cg":
+		return SolverCG, nil
+	}
+	return SolverDefault, fmt.Errorf("spice: unknown solver %q (want auto, dense, sparse or cg)", s)
+}
+
+// processSolver is the process-wide default backend, consulted by circuits
+// whose Solver field is SolverDefault at their first solve.
+var processSolver atomic.Int32
+
+func init() { processSolver.Store(int32(SolverAuto)) }
+
+// SetDefaultSolver sets the process-wide default backend (the -solver flag).
+// SolverDefault restores auto.
+func SetDefaultSolver(m SolverMode) {
+	if m == SolverDefault {
+		m = SolverAuto
+	}
+	processSolver.Store(int32(m))
+}
+
+// DefaultSolver returns the process-wide default backend.
+func DefaultSolver() SolverMode { return SolverMode(processSolver.Load()) }

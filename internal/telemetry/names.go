@@ -16,13 +16,21 @@ const (
 	DenseDowndates      = "solver.dense.downdates"
 	DenseSolves         = "solver.dense.solves"
 
+	// internal/solver — sparse Cholesky (the large-grid direct path).
+	SparseFactorizations = "solver.sparse.factorizations"
+	SparseUpdates        = "solver.sparse.updates"
+	SparseDowndates      = "solver.sparse.downdates"
+	SparseSolves         = "solver.sparse.solves"
+
 	// internal/spice — the incremental re-solve engine.
 	SpiceCompiles         = "spice.compiles"
 	SpiceSlotEdits        = "spice.slot_edits"
 	SpiceResets           = "spice.resets"
 	SpiceDirectSolves     = "spice.solves.direct"
+	SpiceSparseSolves     = "spice.solves.sparse"
 	SpiceCGSolves         = "spice.solves.cg"
 	SpicePrecondRefreshes = "spice.precond.refreshes"
+	SpiceFactorSeconds    = "spice.sparse.factor_seconds"
 
 	// internal/mc — the sequential-failure Monte-Carlo engine.
 	MCTrials           = "mc.trials"

@@ -32,6 +32,10 @@ type Manifest struct {
 	Seed    int64 `json:"seed,omitempty"`
 	Trials  int   `json:"trials,omitempty"`
 	Workers int   `json:"workers,omitempty"`
+	// Solver records the linear-solver backend the run selected (auto/
+	// dense/sparse/cg) — results can shift at the iterative-tolerance level
+	// when the backend changes, so it is part of provenance.
+	Solver string `json:"solver,omitempty"`
 	// MaterialHash fingerprints the material table + EM constants
 	// (core.MaterialHash); StressCacheKeyVersion is the persistent stress
 	// cache's key schema version.

@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-grid_benches='BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve'
+grid_benches='BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve|BenchmarkSparseCholeskyFactor'
 fea_benches='BenchmarkFig1StressProfile|BenchmarkFig6Patterns|BenchmarkFig7ArraySize|BenchmarkFEAWorkers|BenchmarkStressCacheWarm'
 
 go test -run '^$' -bench "$grid_benches" \
