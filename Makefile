@@ -25,10 +25,15 @@ lint:
 	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
 
 # bench runs the paper-figure benchmarks with the fixed snapshot protocol
-# (see scripts/bench_snapshot.sh and BENCH_1.json / BENCH_2.json).
+# (see scripts/bench_snapshot.sh and BENCH_1.json / BENCH_2.json). The large
+# GridSolve tiers (nx200/nx400, ~20–80 ms/op) only run via bench-snapshot,
+# which measures them at a reduced -benchtime.
 bench:
 	$(GO) test -run '^$$' \
-	    -bench 'BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve|BenchmarkSparseCholeskyFactor|BenchmarkFig1StressProfile|BenchmarkFig6Patterns|BenchmarkFig7ArraySize|BenchmarkFEAWorkers|BenchmarkStressCacheWarm' \
+	    -bench 'BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkSparseCholeskyFactor|BenchmarkFig1StressProfile|BenchmarkFig6Patterns|BenchmarkFig7ArraySize|BenchmarkFEAWorkers|BenchmarkStressCacheWarm' \
+	    -benchmem -benchtime=100x -count=1 .
+	$(GO) test -run '^$$' \
+	    -bench 'BenchmarkGridSolve/^nx(10|20|40|80)$$' \
 	    -benchmem -benchtime=100x -count=1 .
 
 bench-snapshot:

@@ -17,6 +17,7 @@ import (
 	"emvia/internal/emdist"
 	"emvia/internal/fem"
 	"emvia/internal/korhonen"
+	"emvia/internal/par"
 	"emvia/internal/pdn"
 	"emvia/internal/phys"
 	"emvia/internal/solver"
@@ -413,7 +414,10 @@ func BenchmarkAblationAging(b *testing.B) {
 // BenchmarkGridSolve measures the raw nodal-analysis solve across grid
 // sizes, the inner loop of the grid Monte Carlo.
 func BenchmarkGridSolve(b *testing.B) {
-	for _, nx := range []int{10, 20, 40, 80} {
+	// nx200 and nx400 (80k and 320k unknowns) cross the supernodal
+	// threshold, so the auto backend exercises the blocked factorization;
+	// bench_snapshot.sh runs them at a reduced -benchtime.
+	for _, nx := range []int{10, 20, 40, 80, 200, 400} {
 		b.Run(sizeName(nx), func(b *testing.B) {
 			g := benchGrid(b, nx)
 			b.ResetTimer()
@@ -427,7 +431,7 @@ func BenchmarkGridSolve(b *testing.B) {
 }
 
 func sizeName(nx int) string {
-	return "nx" + string(rune('0'+nx/10)) + string(rune('0'+nx%10))
+	return fmt.Sprintf("nx%d", nx)
 }
 
 // benchLaplacian builds an nx×nx unit-edge mesh Laplacian (with a small
@@ -502,6 +506,60 @@ func BenchmarkSparseCholeskyFactor(b *testing.B) {
 				b.Fatal(err)
 			}
 			sp.UpdateEdge(fa, fb, 1)
+		}
+	})
+}
+
+// BenchmarkSparseCholeskyFactorSupernodal measures the supernodal kernel on
+// the same 4096-unknown mesh Laplacian as BenchmarkSparseCholeskyFactor:
+// numeric refactorization at several worker counts (results are
+// bit-identical at any width; extra workers only help on multi-core hosts)
+// and the batched 16-RHS triangular solve against the equivalent loop of
+// single solves it replaces in grouped Monte-Carlo trials.
+func BenchmarkSparseCholeskyFactorSupernodal(b *testing.B) {
+	a := benchLaplacian(64)
+	n, _ := a.Dims()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Refactor_w%d", w), func(b *testing.B) {
+			sp, err := solver.NewSupernodalCholeskyFromCSR(a, par.Shared(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sp.RefactorFromCSR(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	sp, err := solver.NewSupernodalCholeskyFromCSR(a, par.Shared(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nrhs = 16
+	rhs := make([]float64, nrhs*n)
+	x := make([]float64, nrhs*n)
+	for i := range rhs {
+		rhs[i] = 1e-3 * float64(i%17)
+	}
+	b.Run("SolveBatch16", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := sp.SolveBatchInto(x, rhs, nrhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SolveLoop16", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < nrhs; v++ {
+				if err := sp.SolveInto(x[v*n:(v+1)*n], rhs[v*n:(v+1)*n]); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	})
 }

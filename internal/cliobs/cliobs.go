@@ -28,6 +28,9 @@ type Config struct {
 	// Solver selects the process-wide linear-solver backend
 	// (auto|dense|sparse|cg); empty keeps the built-in auto policy.
 	Solver string
+	// SolverWorkers bounds the supernodal factorization worker pool;
+	// 0 = one worker per CPU, 1 = serial. Results are identical either way.
+	SolverWorkers int
 }
 
 // RegisterFlags declares every observability flag on fs.
@@ -38,6 +41,7 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	c.Trace.RegisterFlags(fs)
 	fs.StringVar(&c.HTTPAddr, "http", "", "serve the live monitor (/status, /debug/vars, /debug/pprof) on `addr`")
 	fs.StringVar(&c.Solver, "solver", "auto", "linear-solver backend: auto (dense below a size cutoff, sparse Cholesky above), dense, sparse, or cg")
+	fs.IntVar(&c.SolverWorkers, "solver-workers", 0, "worker goroutines of the parallel supernodal factorization (0 = one per CPU, 1 = serial; results are bit-identical)")
 }
 
 // active is the manifest of the current run, readable by RecordFlags until
@@ -59,6 +63,10 @@ func Setup(c Config, command string, fs *flag.FlagSet) (finish func() error, err
 		return nil, fmt.Errorf("-solver: %w", err)
 	}
 	spice.SetDefaultSolver(mode)
+	if c.SolverWorkers < 0 {
+		return nil, fmt.Errorf("-solver-workers: must be ≥ 0, got %d", c.SolverWorkers)
+	}
+	spice.SetSolverWorkers(c.SolverWorkers)
 
 	m := trace.NewManifest(command, os.Args[1:])
 	if fs != nil {

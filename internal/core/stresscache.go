@@ -2,13 +2,18 @@ package core
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
+	"sync"
+	"unsafe"
 
 	"emvia/internal/cudd"
 	"emvia/internal/fem"
@@ -32,28 +37,26 @@ type StressCache struct {
 	dir string
 }
 
-// stressCacheVersion is bumped whenever the FEA discretization or the entry
-// format changes meaning; old entries then miss and are recomputed.
-const stressCacheVersion = 1
+// stressCacheVersion is bumped whenever the FEA discretization, the key
+// schema or the entry format changes meaning; old entries then miss and are
+// recomputed. Version 2 switched the key payload from JSON to the fixed
+// binary layout below.
+const stressCacheVersion = 2
 
-// stressCacheEntry is the on-disk format (cf. viaarray/serialize.go).
+// stressKeyParamFields pins the number of cudd.Params fields the binary key
+// encoding covers. appendParams must encode every field, so adding a field
+// to cudd.Params requires extending appendParams, bumping stressCacheVersion
+// and updating this count — a reflection test enforces all three.
+const stressKeyParamFields = 21
+
+// stressCacheEntry is the on-disk format (cf. viaarray/serialize.go). Put
+// writes it with encoding/json; Get decodes it with a strict hand-rolled
+// scanner (see decodeStressEntry) that accepts a subset of what
+// encoding/json would.
 type stressCacheEntry struct {
 	Version    int         `json:"version"`
 	Key        string      `json:"key"`
 	PeakSigmaT [][]float64 `json:"peak_sigma_t_pa"`
-}
-
-// stressCacheKeyPayload is the canonical content hashed into a cache key.
-// Field order is fixed and maps marshal with sorted keys, so the encoding is
-// deterministic. Workers is deliberately absent: worker count never changes
-// the result (bit-identical parallel kernels).
-type stressCacheKeyPayload struct {
-	Version   int                    `json:"version"`
-	Params    cudd.Params            `json:"params"`
-	Tol       float64                `json:"tol"`
-	MaxIter   int                    `json:"max_iter"`
-	Precond   string                 `json:"precond"`
-	Materials map[mat.ID]mat.Elastic `json:"materials"`
 }
 
 // ResolveStressCacheDir picks the cache directory: an explicit dir wins,
@@ -73,20 +76,61 @@ func ResolveStressCacheDir(dir string) string {
 	return filepath.Join(base, "emvia", "stress")
 }
 
-// OpenStressCache creates (if needed) and opens a cache rooted at dir; empty
-// dir resolves via ResolveStressCacheDir.
+// OpenStressCache opens a cache rooted at dir; empty dir resolves via
+// ResolveStressCacheDir. The directory itself is created lazily on first
+// Put, so opening (which happens on every CLI start, and once per iteration
+// in the warm-cache benchmark) touches the filesystem not at all.
 func OpenStressCache(dir string) (*StressCache, error) {
-	dir = ResolveStressCacheDir(dir)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("core: stress cache dir: %w", err)
-	}
-	return &StressCache{dir: dir}, nil
+	return &StressCache{dir: ResolveStressCacheDir(dir)}, nil
 }
 
 // Dir returns the cache directory.
 func (c *StressCache) Dir() string { return c.dir }
 
-// Key derives the content-addressed cache key for one characterization.
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendParams lays out every cudd.Params field in declaration order. The
+// layout is fixed-width, so no separators are needed for injectivity (the
+// one variable-length key component, the preconditioner name, is
+// length-prefixed by the caller).
+func appendParams(b []byte, p *cudd.Params) []byte {
+	b = appendU64(b, uint64(p.Pattern))
+	b = appendU64(b, uint64(p.LayerPair.Lower))
+	b = appendU64(b, uint64(p.LayerPair.Upper))
+	b = appendU64(b, uint64(p.ArrayN))
+	b = appendF64(b, p.WireWidth)
+	b = appendF64(b, p.ViaArea)
+	b = appendF64(b, p.ViaSpacing)
+	b = appendF64(b, p.AnnealT)
+	b = appendF64(b, p.OperatingT)
+	b = appendF64(b, p.MetalThicknessIntermediate)
+	b = appendF64(b, p.MetalThicknessTop)
+	b = appendF64(b, p.ViaHeight)
+	b = appendF64(b, p.CapThickness)
+	b = appendF64(b, p.LinerThickness)
+	b = appendF64(b, p.Margin)
+	b = appendF64(b, p.SubstrateThickness)
+	b = appendF64(b, p.UnderILD)
+	b = appendF64(b, p.OverILD)
+	b = appendF64(b, p.StepArray)
+	b = appendF64(b, p.StepOutside)
+	b = appendF64(b, p.StepZMetal)
+	b = appendF64(b, p.StepZBulk)
+	return b
+}
+
+// Key derives the content-addressed cache key for one characterization: a
+// SHA-256 over a fixed binary payload covering the schema version, every
+// structure parameter, the solver settings that change the converged result
+// (worker count deliberately excluded — parallel kernels are bit-identical)
+// and the material table. The payload fits a stack buffer, so deriving a key
+// costs a single allocation (the hex string).
 func (c *StressCache) Key(p cudd.Params, opt fem.SolveOptions) string {
 	tol := opt.Tol
 	if tol == 0 {
@@ -96,26 +140,34 @@ func (c *StressCache) Key(p cudd.Params, opt fem.SolveOptions) string {
 	if precond == "" {
 		precond = "auto"
 	}
-	payload := stressCacheKeyPayload{
-		Version:   stressCacheVersion,
-		Params:    p,
-		Tol:       tol,
-		MaxIter:   opt.MaxIter,
-		Precond:   precond,
-		Materials: mat.Table1,
+	var arr [512]byte
+	b := append(arr[:0], "emvia-stress"...)
+	b = appendU64(b, stressCacheVersion)
+	b = appendParams(b, &p)
+	b = appendF64(b, tol)
+	b = appendU64(b, uint64(opt.MaxIter))
+	b = appendU64(b, uint64(len(precond)))
+	b = append(b, precond...)
+	// The material table is a map; scanning the full (one-byte) ID space in
+	// order makes the encoding deterministic without sorting allocations.
+	for id := 0; id < 256; id++ {
+		e, ok := mat.Table1[mat.ID(id)]
+		if !ok {
+			continue
+		}
+		b = append(b, byte(id))
+		b = appendF64(b, e.E)
+		b = appendF64(b, e.Nu)
+		b = appendF64(b, e.CTE)
 	}
-	buf, err := json.Marshal(payload)
-	if err != nil {
-		// Params and the material table are plain value structs; this
-		// cannot fail for well-formed inputs.
-		panic(fmt.Sprintf("core: stress cache key encoding: %v", err))
-	}
-	sum := sha256.Sum256(buf)
-	return hex.EncodeToString(sum[:])
+	sum := sha256.Sum256(b)
+	var dst [2 * sha256.Size]byte
+	hex.Encode(dst[:], sum[:])
+	return string(dst[:])
 }
 
 func (c *StressCache) path(key string) string {
-	return filepath.Join(c.dir, key+".json")
+	return c.dir + string(os.PathSeparator) + key + ".json"
 }
 
 // Get loads the entry for key. Any read, decode, version or key mismatch is
@@ -149,30 +201,32 @@ const (
 	cacheCorrupt
 )
 
+// stressReadBuf recycles the file-content scratch across Gets (and across
+// StressCache instances — the bytes never outlive one get call, which copies
+// the decoded floats out before returning).
+var stressReadBuf = sync.Pool{New: func() any { b := make([]byte, 0, 16<<10); return &b }}
+
 func (c *StressCache) get(key string) ([][]float64, cacheOutcome) {
-	buf, err := os.ReadFile(c.path(key))
+	bp := stressReadBuf.Get().(*[]byte)
+	defer func() { stressReadBuf.Put(bp) }()
+	buf, err := readEntryFile(c.path(key), *bp)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil, cacheMiss
 		}
 		return nil, cacheCorrupt
 	}
-	var e stressCacheEntry
-	if err := json.Unmarshal(buf, &e); err != nil {
+	*bp = buf
+	sigma, ok := decodeStressEntry(buf, key)
+	if !ok {
 		return nil, cacheCorrupt
 	}
-	if e.Version != stressCacheVersion || e.Key != key || len(e.PeakSigmaT) == 0 {
-		return nil, cacheCorrupt
-	}
-	for _, row := range e.PeakSigmaT {
-		if len(row) != len(e.PeakSigmaT) {
-			return nil, cacheCorrupt
-		}
-	}
-	return e.PeakSigmaT, cacheHit
+	return sigma, cacheHit
 }
 
-// Put stores sigma under key via write-to-temp + atomic rename.
+// Put stores sigma under key via write-to-temp + atomic rename, creating the
+// cache directory on first use (deferred out of OpenStressCache so opening a
+// cache stays read-only).
 func (c *StressCache) Put(key string, sigma [][]float64) error {
 	buf, err := json.Marshal(stressCacheEntry{
 		Version:    stressCacheVersion,
@@ -181,6 +235,9 @@ func (c *StressCache) Put(key string, sigma [][]float64) error {
 	})
 	if err != nil {
 		return fmt.Errorf("core: stress cache encode: %w", err)
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("core: stress cache dir: %w", err)
 	}
 	tmp, err := os.CreateTemp(c.dir, ".tmp-"+key+"-*")
 	if err != nil {
@@ -200,4 +257,263 @@ func (c *StressCache) Put(key string, sigma [][]float64) error {
 		return fmt.Errorf("core: stress cache rename: %w", err)
 	}
 	return nil
+}
+
+// decodeStressEntry is a strict, allocation-light decoder for the on-disk
+// entry format. It accepts exactly the shape Put writes — the three fields
+// in order, arbitrary JSON whitespace between tokens — and is deliberately
+// no more permissive than encoding/json: numbers must match the JSON
+// grammar (no NaN/Infinity, no hex, no leading '+' or superfluous leading
+// zeros, no out-of-range magnitudes), strings may not contain raw control
+// bytes, and trailing garbage is rejected. Inputs json.Unmarshal would
+// accept but Put never writes (reordered, duplicated or unknown fields,
+// escaped key strings) are rejected too; a stricter reject only turns a
+// hand-edited entry into a recompute. On success the matrix values are
+// bit-identical to what json.Unmarshal would produce, since both feed the
+// same literals to strconv.ParseFloat.
+//
+// The matrix comes back as one backing slice plus a row-header slice, so a
+// warm Get performs two matrix allocations regardless of size.
+func decodeStressEntry(buf []byte, key string) ([][]float64, bool) {
+	d := stressScanner{b: buf}
+	if !d.expect('{') || !d.field("version") {
+		return nil, false
+	}
+	if v, ok := d.intLit(); !ok || v != stressCacheVersion {
+		return nil, false
+	}
+	if !d.expect(',') || !d.field("key") || !d.stringEquals(key) {
+		return nil, false
+	}
+	if !d.expect(',') || !d.field("peak_sigma_t_pa") {
+		return nil, false
+	}
+	sigma, ok := d.matrix()
+	if !ok || !d.expect('}') {
+		return nil, false
+	}
+	d.ws()
+	if d.i != len(d.b) {
+		return nil, false
+	}
+	return sigma, true
+}
+
+// stressScanner walks the entry bytes. All methods return false on any
+// grammar violation, leaving the caller to classify the entry corrupt.
+type stressScanner struct {
+	b []byte
+	i int
+}
+
+func (d *stressScanner) ws() {
+	for d.i < len(d.b) {
+		switch d.b[d.i] {
+		case ' ', '\t', '\n', '\r':
+			d.i++
+		default:
+			return
+		}
+	}
+}
+
+// expect consumes optional whitespace followed by exactly c.
+func (d *stressScanner) expect(c byte) bool {
+	d.ws()
+	if d.i < len(d.b) && d.b[d.i] == c {
+		d.i++
+		return true
+	}
+	return false
+}
+
+// field consumes `"name":` (with optional surrounding whitespace).
+func (d *stressScanner) field(name string) bool {
+	if !d.expect('"') {
+		return false
+	}
+	if len(d.b)-d.i < len(name)+1 || string(d.b[d.i:d.i+len(name)]) != name || d.b[d.i+len(name)] != '"' {
+		return false
+	}
+	d.i += len(name) + 1
+	return d.expect(':')
+}
+
+// stringEquals consumes a JSON string and reports whether it equals want.
+// Escape sequences are rejected: cache keys are plain hex, and Put never
+// escapes them.
+func (d *stressScanner) stringEquals(want string) bool {
+	if !d.expect('"') {
+		return false
+	}
+	start := d.i
+	for d.i < len(d.b) {
+		c := d.b[d.i]
+		if c == '"' {
+			eq := string(d.b[start:d.i]) == want
+			d.i++
+			return eq
+		}
+		if c == '\\' || c < 0x20 {
+			return false
+		}
+		d.i++
+	}
+	return false
+}
+
+// intLit consumes a JSON integer (no fraction or exponent, matching what
+// json.Unmarshal accepts for an int field).
+func (d *stressScanner) intLit() (int, bool) {
+	d.ws()
+	b, i := d.b, d.i
+	neg := false
+	if i < len(b) && b[i] == '-' {
+		neg = true
+		i++
+	}
+	if i >= len(b) || b[i] < '0' || b[i] > '9' {
+		return 0, false
+	}
+	v := 0
+	if b[i] == '0' {
+		i++
+	} else {
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			if v > (1<<31)/10 {
+				return 0, false
+			}
+			v = v*10 + int(b[i]-'0')
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == '.' || b[i] == 'e' || b[i] == 'E') {
+		return 0, false
+	}
+	d.i = i
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// float consumes one JSON number. The grammar is validated byte-by-byte
+// first — strconv.ParseFloat alone would also take Go-isms like "0x1p4",
+// "+1" or "inf" that JSON forbids — and ParseFloat then only converts.
+// A range error (|x| overflowing float64) is rejected like encoding/json
+// rejects it.
+func (d *stressScanner) float() (float64, bool) {
+	d.ws()
+	b, i := d.b, d.i
+	start := i
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	if i >= len(b) || b[i] < '0' || b[i] > '9' {
+		return 0, false
+	}
+	if b[i] == '0' {
+		i++
+	} else {
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	d.i = i
+	// The literal was just grammar-checked and ParseFloat does not retain
+	// its argument, so an unsafe view of the bytes avoids a per-number
+	// string copy.
+	v, err := strconv.ParseFloat(unsafe.String(&b[start], i-start), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// row consumes `[x, y, ...]`, appending onto dst.
+func (d *stressScanner) row(dst []float64) ([]float64, bool) {
+	if !d.expect('[') {
+		return nil, false
+	}
+	d.ws()
+	if d.i < len(d.b) && d.b[d.i] == ']' {
+		d.i++
+		return dst, true
+	}
+	for {
+		v, ok := d.float()
+		if !ok {
+			return nil, false
+		}
+		dst = append(dst, v)
+		d.ws()
+		if d.i >= len(d.b) {
+			return nil, false
+		}
+		switch d.b[d.i] {
+		case ',':
+			d.i++
+		case ']':
+			d.i++
+			return dst, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// matrix consumes the stress matrix, enforcing the square-shape invariant
+// while parsing: the first row fixes n, every later row must supply exactly
+// n values into a preallocated n×n backing, and exactly n rows must follow.
+func (d *stressScanner) matrix() ([][]float64, bool) {
+	if !d.expect('[') {
+		return nil, false
+	}
+	var first [32]float64
+	row0, ok := d.row(first[:0])
+	if !ok || len(row0) == 0 {
+		return nil, false
+	}
+	n := len(row0)
+	backing := make([]float64, n*n)
+	rows := make([][]float64, n)
+	copy(backing, row0)
+	rows[0] = backing[:n:n]
+	for r := 1; ; r++ {
+		d.ws()
+		if d.i < len(d.b) && d.b[d.i] == ']' {
+			d.i++
+			return rows, r == n
+		}
+		if !d.expect(',') || r >= n {
+			return nil, false
+		}
+		dst := backing[r*n : r*n : (r+1)*n]
+		got, ok := d.row(dst)
+		if !ok || len(got) != n {
+			return nil, false
+		}
+		rows[r] = got
+	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
 )
@@ -24,16 +25,21 @@ func FuzzStressCacheGet(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	seed := func(body string) []byte {
+		return []byte(fmt.Sprintf(`{"version":%d,%s}`, stressCacheVersion, body))
+	}
 	f.Add(valid)
-	f.Add(valid[:len(valid)/2])                                                  // truncated mid-write
-	f.Add([]byte{})                                                              // empty file
-	f.Add([]byte("not json at all"))                                             // garbage
-	f.Add([]byte(`{"version":99,"key":"fuzzkey","peak_sigma_t_pa":[[1]]}`))      // version skew
-	f.Add([]byte(`{"version":1,"key":"other","peak_sigma_t_pa":[[1]]}`))         // key mismatch
-	f.Add([]byte(`{"version":1,"key":"fuzzkey","peak_sigma_t_pa":[]}`))          // empty matrix
-	f.Add([]byte(`{"version":1,"key":"fuzzkey","peak_sigma_t_pa":[[1],[2,3]]}`)) // ragged matrix
-	f.Add([]byte(`{"version":1,"key":"fuzzkey","peak_sigma_t_pa":[[1,2]]}`))     // non-square matrix
-	f.Add([]byte(`{"version":1,"key":"fuzzkey","peak_sigma_t_pa":null}`))        // null matrix
+	f.Add(valid[:len(valid)/2])                                             // truncated mid-write
+	f.Add([]byte{})                                                         // empty file
+	f.Add([]byte("not json at all"))                                        // garbage
+	f.Add([]byte(`{"version":99,"key":"fuzzkey","peak_sigma_t_pa":[[1]]}`)) // version skew
+	f.Add(seed(`"key":"other","peak_sigma_t_pa":[[1]]`))                    // key mismatch
+	f.Add(seed(`"key":"fuzzkey","peak_sigma_t_pa":[]`))                     // empty matrix
+	f.Add(seed(`"key":"fuzzkey","peak_sigma_t_pa":[[1],[2,3]]`))            // ragged matrix
+	f.Add(seed(`"key":"fuzzkey","peak_sigma_t_pa":[[1,2]]`))                // non-square matrix
+	f.Add(seed(`"key":"fuzzkey","peak_sigma_t_pa":null`))                   // null matrix
+	f.Add(seed(`"key":"fuzzkey","peak_sigma_t_pa":[[NaN]]`))                // non-JSON number
+	f.Add(seed(`"key":"fuzzkey","peak_sigma_t_pa":[[0x1p4]]`))              // hex float
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package core
+
+import "os"
+
+// readEntryFile reads one cache entry into dst. The portable fallback pays
+// os.ReadFile's extra allocations; the unix build reads via raw syscalls.
+func readEntryFile(path string, dst []byte) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst[:0], b...), nil
+}

@@ -1,0 +1,46 @@
+//go:build unix
+
+package core
+
+import "syscall"
+
+// readEntryFile slurps one cache entry into dst (grown as needed) with plain
+// syscalls. os.ReadFile costs five allocations per call — two for the File
+// wrapper, the NUL-terminated name, the Stat result and the content buffer —
+// where the warm-cache path needs at most one, and it runs once per cold
+// StressFor. The returned slice aliases dst's storage when it fits.
+func readEntryFile(path string, dst []byte) ([]byte, error) {
+	fd, err := syscall.Open(path, syscall.O_RDONLY|syscall.O_CLOEXEC, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer syscall.Close(fd)
+	var st syscall.Stat_t
+	if err := syscall.Fstat(fd, &st); err != nil {
+		return nil, err
+	}
+	if size := int(st.Size); cap(dst) < size {
+		dst = make([]byte, 0, size+64)
+	}
+	dst = dst[:0]
+	for {
+		if len(dst) == cap(dst) {
+			// The file grew past its stat size (concurrent rewrite);
+			// extend and keep reading.
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := syscall.Read(fd, dst[len(dst):cap(dst)])
+		if n > 0 {
+			dst = dst[:len(dst)+n]
+		}
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return dst, nil
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"emvia/internal/cudd"
+	"emvia/internal/fem"
+)
+
+// TestStressCacheKeyCoversAllParams walks every leaf field of cudd.Params by
+// reflection, perturbs it, and requires the cache key to change: a field the
+// binary encoder misses would alias physically different structures onto one
+// cache entry. The field-count pin makes adding a Params field a compile-time
+// reminder to extend appendParams and bump stressCacheVersion.
+func TestStressCacheKeyCoversAllParams(t *testing.T) {
+	rt := reflect.TypeOf(cudd.Params{})
+	if rt.NumField() != stressKeyParamFields {
+		t.Fatalf("cudd.Params has %d fields but the cache key encodes %d: "+
+			"extend appendParams, bump stressCacheVersion and update stressKeyParamFields together",
+			rt.NumField(), stressKeyParamFields)
+	}
+
+	// Collect the index path of every leaf (int or float64) field,
+	// descending into embedded structs like LayerPair.
+	type leaf struct {
+		path []int
+		name string
+	}
+	var leaves []leaf
+	var walk func(t reflect.Type, path []int, name string)
+	walk = func(t reflect.Type, path []int, name string) {
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			p := append(append([]int(nil), path...), i)
+			n := name + f.Name
+			if f.Type.Kind() == reflect.Struct {
+				walk(f.Type, p, n+".")
+				continue
+			}
+			leaves = append(leaves, leaf{path: p, name: n})
+		}
+	}
+	walk(rt, nil, "")
+
+	c := testCache(t)
+	base := cudd.DefaultParams()
+	baseKey := c.Key(base, fem.SolveOptions{})
+	for _, lf := range leaves {
+		q := base
+		v := reflect.ValueOf(&q).Elem().FieldByIndex(lf.path)
+		switch v.Kind() {
+		case reflect.Int:
+			v.SetInt(v.Int() + 1)
+		case reflect.Float64:
+			v.SetFloat(v.Float() + 1)
+		default:
+			t.Fatalf("cudd.Params.%s has kind %s: extend the key encoder and this test", lf.name, v.Kind())
+		}
+		if c.Key(q, fem.SolveOptions{}) == baseKey {
+			t.Errorf("perturbing cudd.Params.%s did not change the cache key", lf.name)
+		}
+	}
+}
+
+// TestStressCacheStrictDecoder pins the hand-rolled entry decoder against
+// encoding/json on both sides: inputs looser than the JSON grammar (which
+// strconv.ParseFloat alone would happily take) must be rejected, and every
+// input it accepts must decode to the identical matrix under json.Unmarshal.
+func TestStressCacheStrictDecoder(t *testing.T) {
+	const key = "k"
+	entry := func(matrix string) []byte {
+		return []byte(fmt.Sprintf(`{"version":%d,"key":%q,"peak_sigma_t_pa":%s}`, stressCacheVersion, key, matrix))
+	}
+
+	accept := [][]byte{
+		entry(`[[1]]`),
+		entry(`[[1,2],[3,4]]`),
+		entry(`[[4.1e+08,-2.5e-3],[0.0,410000000]]`),
+		entry(`[[-0,1],[1e2,0.5]]`),
+		[]byte(fmt.Sprintf(" {\n\t\"version\": %d ,\n \"key\": %q ,\n \"peak_sigma_t_pa\": [ [ 1 , 2 ] , [ 3 , 4 ] ]\n} \n", stressCacheVersion, key)),
+	}
+	for _, in := range accept {
+		got, ok := decodeStressEntry(in, key)
+		if !ok {
+			t.Errorf("rejected valid entry %s", in)
+			continue
+		}
+		var e stressCacheEntry
+		if err := json.Unmarshal(in, &e); err != nil {
+			t.Fatalf("decoder accepted input encoding/json rejects: %s (%v)", in, err)
+		}
+		if !reflect.DeepEqual(got, e.PeakSigmaT) {
+			t.Errorf("decoder disagrees with encoding/json on %s:\n got %v\nwant %v", in, got, e.PeakSigmaT)
+		}
+	}
+
+	reject := map[string][]byte{
+		"NaN value":            entry(`[[NaN]]`),
+		"Infinity value":       entry(`[[Infinity]]`),
+		"negative Infinity":    entry(`[[-Infinity]]`),
+		"hex float":            entry(`[[0x1p4]]`),
+		"leading plus":         entry(`[[+1]]`),
+		"leading zeros":        entry(`[[01.5]]`),
+		"bare dot":             entry(`[[.5]]`),
+		"trailing dot":         entry(`[[1.]]`),
+		"dangling exponent":    entry(`[[1e]]`),
+		"signed empty exp":     entry(`[[1e+]]`),
+		"underscore digits":    entry(`[[1_000]]`),
+		"out of range":         entry(`[[1e999]]`),
+		"trailing comma":       entry(`[[1,2],[3,4],]`),
+		"row trailing comma":   entry(`[[1,2,],[3,4]]`),
+		"ragged matrix":        entry(`[[1,2],[3]]`),
+		"non-square matrix":    entry(`[[1,2]]`),
+		"empty matrix":         entry(`[]`),
+		"empty row":            entry(`[[],[]]`),
+		"null matrix":          entry(`null`),
+		"string in matrix":     entry(`[["1"]]`),
+		"trailing garbage":     append(entry(`[[1]]`), 'x'),
+		"second document":      append(entry(`[[1]]`), entry(`[[1]]`)...),
+		"truncated":            entry(`[[1]]`)[:20],
+		"version float":        []byte(fmt.Sprintf(`{"version":%d.0,"key":"k","peak_sigma_t_pa":[[1]]}`, stressCacheVersion)),
+		"version skew":         []byte(`{"version":1,"key":"k","peak_sigma_t_pa":[[1]]}`),
+		"key mismatch":         []byte(fmt.Sprintf(`{"version":%d,"key":"other","peak_sigma_t_pa":[[1]]}`, stressCacheVersion)),
+		"single-quoted string": []byte(fmt.Sprintf(`{'version':%d,'key':'k','peak_sigma_t_pa':[[1]]}`, stressCacheVersion)),
+	}
+	for name, in := range reject {
+		if _, ok := decodeStressEntry(in, key); ok {
+			t.Errorf("%s accepted: %s", name, in)
+		}
+	}
+}
+
+// TestStressCacheRoundTripMatchesJSON stores an entry through Put and checks
+// the strict decoder reproduces json.Unmarshal bit for bit on the canonical
+// on-disk form, including exponent-formatted and negative values.
+func TestStressCacheRoundTripMatchesJSON(t *testing.T) {
+	c := testCache(t)
+	key := c.Key(cudd.DefaultParams(), fem.SolveOptions{})
+	want := [][]float64{
+		{4.1e8, -2.75e-19, 0},
+		{1.0 / 3.0, 6.02214076e23, -7},
+		{9.999999999999999e-5, 2, 123456789.25},
+	}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e stressCacheEntry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := decodeStressEntry(raw, key)
+	if !ok {
+		t.Fatalf("strict decoder rejected Put's own output: %s", raw)
+	}
+	if !reflect.DeepEqual(got, e.PeakSigmaT) || !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip drifted:\n got  %v\n json %v\n want %v", got, e.PeakSigmaT, want)
+	}
+}
+
+// TestStressCacheWarmPathAllocs pins the per-lookup allocation budget of the
+// warm disk path (Key derivation + Get): the key hex string, the path string,
+// its NUL-terminated syscall copy, and the two matrix slices. Regressing this
+// shows up directly in BenchmarkStressCacheWarm.
+func TestStressCacheWarmPathAllocs(t *testing.T) {
+	c := testCache(t)
+	p := cudd.DefaultParams()
+	key := c.Key(p, fem.SolveOptions{})
+	sigma := make([][]float64, 4)
+	for i := range sigma {
+		sigma[i] = []float64{4.1e8, 4.2e8, 4.3e8, 4.4e8}
+	}
+	if err := c.Put(key, sigma); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		k := c.Key(p, fem.SolveOptions{})
+		s, ok := c.Get(k)
+		if !ok || s[2][2] != 4.3e8 {
+			t.Fatalf("warm lookup failed: ok=%v", ok)
+		}
+	})
+	if allocs > 6 {
+		t.Errorf("warm Key+Get costs %.0f allocs, want ≤ 6", allocs)
+	}
+}

@@ -141,7 +141,9 @@ func (m *Model) Solve(opt SolveOptions) (*Result, error) {
 	reg.Counter(telemetry.FEMSolves).Inc()
 	solve0 := reg.Histogram(telemetry.FEMSolveSeconds).Start()
 
-	pool := par.New(opt.Workers)
+	// The shared per-width pool keeps its workers parked between solves, so
+	// repeated characterizations pay the goroutine spawn only once.
+	pool := par.Shared(opt.Workers)
 	asm0 := reg.Histogram(telemetry.FEMAssemblySeconds).Start()
 	asmSpan := trace.Default().Span("fem.assemble")
 	asm, err := m.assemble(pool)

@@ -59,7 +59,7 @@ func (r *Result) PrecomputeStress(workers int) {
 	sigOK := make([]bool, ncells)
 	stress0 := telemetry.Default().Histogram(telemetry.FEMStressSeconds).Start()
 	stressSpan := trace.Default().Span("fem.stress")
-	pool := par.New(workers)
+	pool := par.Shared(workers)
 	pool.Run(par.Blocks(ncells, cellBlock), func(b int) {
 		lo := b * cellBlock
 		hi := lo + cellBlock

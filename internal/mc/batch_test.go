@@ -1,0 +1,93 @@
+package mc
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// preparerSystem wraps randomSystem with a TrialPreparer that records every
+// group of seeds it is handed. It never touches the trial RNG, so its trial
+// results are identical to the plain randomSystem's.
+type preparerSystem struct {
+	randomSystem
+
+	mu     sync.Mutex
+	groups [][]int64
+}
+
+func (s *preparerSystem) PrepareTrials(seeds []int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groups = append(s.groups, append([]int64(nil), seeds...))
+	return nil
+}
+
+func TestBatchGroupingAnnouncesEveryTrial(t *testing.T) {
+	sys := &preparerSystem{randomSystem: randomSystem{n: 4, critK: 1}}
+	opt := Options{Trials: 23, Seed: 99, BatchTrials: 5}
+	if _, err := Run(sys, opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.groups) != 5 {
+		t.Fatalf("PrepareTrials called %d times, want 5 groups for 23 trials of 5", len(sys.groups))
+	}
+	trial := 0
+	for gi, g := range sys.groups {
+		want := 5
+		if gi == 4 {
+			want = 3
+		}
+		if len(g) != want {
+			t.Fatalf("group %d has %d seeds, want %d", gi, len(g), want)
+		}
+		for _, sd := range g {
+			if sd != trialSeed(opt.Seed, trial) {
+				t.Fatalf("group %d announced seed %d for trial %d, want %d", gi, sd, trial, trialSeed(opt.Seed, trial))
+			}
+			trial++
+		}
+	}
+	if trial != opt.Trials {
+		t.Fatalf("groups announced %d trials, want %d", trial, opt.Trials)
+	}
+}
+
+func TestBatchDisabledSkipsPreparer(t *testing.T) {
+	sys := &preparerSystem{randomSystem: randomSystem{n: 4, critK: 1}}
+	if _, err := Run(sys, Options{Trials: 8, Seed: 7, BatchTrials: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.groups) != 0 {
+		t.Fatalf("BatchTrials<0 must never call PrepareTrials, got %d calls", len(sys.groups))
+	}
+}
+
+func TestBatchParallelMatchesSerial(t *testing.T) {
+	// Group dispatch must not perturb results: serial ungrouped,
+	// grouped-serial, and grouped-parallel runs of the same seeded system
+	// agree bitwise for any worker count.
+	base, err := Run(&randomSystem{n: 6, critK: 1}, Options{Trials: 37, Seed: 5, RunToCompletion: true, BatchTrials: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3} {
+		opt := Options{Trials: 37, Seed: 5, RunToCompletion: true, BatchTrials: 4, Workers: workers}
+		var got *Result
+		if workers == 0 {
+			got, err = Run(&preparerSystem{randomSystem: randomSystem{n: 6, critK: 1}}, opt)
+		} else {
+			got, err = RunParallel(func() (System, error) {
+				return &preparerSystem{randomSystem: randomSystem{n: 6, critK: 1}}, nil
+			}, opt)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.TTF {
+			if base.TTF[i] != got.TTF[i] && !(math.IsInf(base.TTF[i], 1) && math.IsInf(got.TTF[i], 1)) {
+				t.Fatalf("workers=%d trial %d: TTF %g != baseline %g", workers, i, got.TTF[i], base.TTF[i])
+			}
+		}
+	}
+}

@@ -47,6 +47,24 @@ type System interface {
 	Failed() (bool, error)
 }
 
+// TrialPreparer is optionally implemented by Systems that can precompute
+// state shared by a group of upcoming trials — e.g. batching the linear
+// solves that seed each trial's first failure into one multi-RHS sweep.
+// The engine calls PrepareTrials with the seeds of the next BatchTrials
+// consecutive trials right before running them (in order, on the same
+// system instance), so an implementation may key its precomputation to the
+// seeds and serve it back during BeginTrial/Fail. Preparation must not
+// change the observable trial results: it is an amortization hook, not a
+// semantic one.
+type TrialPreparer interface {
+	// PrepareTrials precomputes for the trials seeded by seeds, replacing
+	// any previously prepared state.
+	PrepareTrials(seeds []int64) error
+}
+
+// defaultBatchTrials is the trial-group size when BatchTrials is 0.
+const defaultBatchTrials = 16
+
 // Options configures a Monte-Carlo run.
 type Options struct {
 	// Trials is the number of Monte-Carlo trials (paper: N_trials = 500).
@@ -66,6 +84,15 @@ type Options struct {
 	// TraceLabel names this run in structured traces (see internal/trace);
 	// empty selects "mc".
 	TraceLabel string
+	// BatchTrials sets the trial-group size: trials are dispatched to
+	// workers in fixed consecutive groups of this size, and a System that
+	// implements TrialPreparer is given each group's seeds ahead of running
+	// it. 0 selects the default (16); negative disables batching entirely
+	// (group size 1 and PrepareTrials never called — the legacy per-trial
+	// path, which batching-aware Systems must reproduce exactly). Group
+	// boundaries depend only on the trial index, never on Workers, so
+	// results stay bit-identical for any worker count.
+	BatchTrials int
 	// Solver records the linear-solver backend the run's systems use
 	// ("auto", "dense", "sparse" or "cg"; empty = unspecified). The engine
 	// itself never interprets it — the backend is a property of the System
@@ -101,6 +128,30 @@ func (o Options) traceLabel() string {
 		return o.TraceLabel
 	}
 	return "mc"
+}
+
+// groupSize resolves BatchTrials to the effective trial-group size.
+func (o Options) groupSize() int {
+	switch {
+	case o.BatchTrials < 0:
+		return 1
+	case o.BatchTrials == 0:
+		return defaultBatchTrials
+	}
+	return o.BatchTrials
+}
+
+// prepareGroup hands the seeds of trials [g0, g1) to a preparer system.
+// seeds is the caller's scratch buffer, returned grown.
+func prepareGroup(p TrialPreparer, opt Options, g0, g1 int, seeds []int64) ([]int64, error) {
+	seeds = seeds[:0]
+	for t := g0; t < g1; t++ {
+		seeds = append(seeds, trialSeed(opt.Seed, t))
+	}
+	if err := p.PrepareTrials(seeds); err != nil {
+		return seeds, fmt.Errorf("mc: preparing trials %d..%d: %w", g0, g1-1, err)
+	}
+	return seeds, nil
 }
 
 // ComponentLabeler is optionally implemented by Systems that can name their
@@ -207,17 +258,32 @@ func Run(sys System, opt Options) (*Result, error) {
 	run := trace.Default().BeginRun(opt.traceLabel(), opt.Trials)
 	defer run.End()
 	labeler, _ := sys.(ComponentLabeler)
+	var preparer TrialPreparer
+	if opt.BatchTrials >= 0 {
+		preparer, _ = sys.(TrialPreparer)
+	}
+	batch := opt.groupSize()
+	var seeds []int64
 	t0 := met.runSeconds.Start()
-	for t := 0; t < opt.Trials; t++ {
-		rng.Seed(trialSeed(opt.Seed, t))
-		ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met, run.Trial(t), labeler)
-		if err != nil {
-			return nil, fmt.Errorf("mc: trial %d: %w", t, err)
+	for g0 := 0; g0 < opt.Trials; g0 += batch {
+		g1 := min(g0+batch, opt.Trials)
+		if preparer != nil {
+			var err error
+			if seeds, err = prepareGroup(preparer, opt, g0, g1, seeds); err != nil {
+				return nil, err
+			}
 		}
-		res.TTF[t] = ttf
-		res.Events[t] = events
-		res.EventComps[t] = comps
-		met.reg.ProgressTick("mc", int64(t+1), int64(opt.Trials))
+		for t := g0; t < g1; t++ {
+			rng.Seed(trialSeed(opt.Seed, t))
+			ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met, run.Trial(t), labeler)
+			if err != nil {
+				return nil, fmt.Errorf("mc: trial %d: %w", t, err)
+			}
+			res.TTF[t] = ttf
+			res.Events[t] = events
+			res.EventComps[t] = comps
+			met.reg.ProgressTick("mc", int64(t+1), int64(opt.Trials))
+		}
 	}
 	met.runSeconds.ObserveSince(t0)
 	return res, nil
@@ -233,8 +299,9 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > opt.Trials {
-		workers = opt.Trials
+	batch := opt.groupSize()
+	if groups := (opt.Trials + batch - 1) / batch; workers > groups {
+		workers = groups
 	}
 	res := &Result{
 		TTF:        make([]float64, opt.Trials),
@@ -273,22 +340,40 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 			var scratch trialScratch
 			met := newRunMetrics() // per-worker handles; runSeconds tracked by the dispatcher
 			labeler, _ := sys.(ComponentLabeler)
+			var preparer TrialPreparer
+			if opt.BatchTrials >= 0 {
+				preparer, _ = sys.(TrialPreparer)
+			}
+			var seeds []int64
+			// Workers claim whole trial groups: the group → trial mapping is a
+			// pure function of the options, so a preparer system sees exactly
+			// the groups a serial run would, whichever worker claims each.
 			for !stop.Load() {
-				t := int(next.Add(1)) - 1
-				if t >= opt.Trials {
+				g0 := (int(next.Add(1)) - 1) * batch
+				if g0 >= opt.Trials {
 					return
 				}
-				rng.Seed(trialSeed(opt.Seed, t))
-				ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met, run.Trial(t), labeler)
-				if err != nil {
-					fail(fmt.Errorf("mc: trial %d: %w", t, err))
-					return
+				g1 := min(g0+batch, opt.Trials)
+				if preparer != nil {
+					var err error
+					if seeds, err = prepareGroup(preparer, opt, g0, g1, seeds); err != nil {
+						fail(err)
+						return
+					}
 				}
-				res.TTF[t] = ttf
-				res.Events[t] = events
-				res.EventComps[t] = comps
-				if met.reg != nil {
-					met.reg.ProgressTick("mc", done.Add(1), int64(opt.Trials))
+				for t := g0; t < g1; t++ {
+					rng.Seed(trialSeed(opt.Seed, t))
+					ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met, run.Trial(t), labeler)
+					if err != nil {
+						fail(fmt.Errorf("mc: trial %d: %w", t, err))
+						return
+					}
+					res.TTF[t] = ttf
+					res.Events[t] = events
+					res.EventComps[t] = comps
+					if met.reg != nil {
+						met.reg.ProgressTick("mc", done.Add(1), int64(opt.Trials))
+					}
 				}
 			}
 		}()

@@ -1,0 +1,144 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"emvia/internal/mc"
+	"emvia/internal/spice"
+)
+
+// forceSparse pins the process solver default to the sparse direct backend
+// for one test, so even the small test grids exercise the prepared path.
+func forceSparse(t *testing.T) {
+	t.Helper()
+	prev := spice.DefaultSolver()
+	spice.SetDefaultSolver(spice.SolverSparse)
+	t.Cleanup(func() { spice.SetDefaultSolver(prev) })
+}
+
+// TestPreparedTrialsMatchLegacy cross-checks the batched Sherman–Morrison
+// trial preparation against the legacy per-trial solve path: same grid, same
+// seeds, batching on vs off. The first post-failure operating point differs
+// only by solve rounding (correction about the pristine factor vs a solve
+// against the downdated one), so the failure sequences must agree and the
+// TTFs must match to solver precision.
+func TestPreparedTrialsMatchLegacy(t *testing.T) {
+	forceSparse(t)
+	g := mustGrid(t, smallSpec(), 0.05)
+	ref := refCurrentOf(t, g)
+	cfg := TTFConfig{Grid: g, Models: testModels(ref), Criterion: IRDrop, IRDropFrac: 0.10}
+
+	run := func(batch int) *mc.Result {
+		t.Helper()
+		master, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := master.circuit.SolverBackend(); got != "sparse" {
+			t.Fatalf("backend = %s, want sparse", got)
+		}
+		res, err := mc.Run(master, mc.Options{Trials: 40, Seed: 11, BatchTrials: batch, RunToCompletion: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	legacy := run(-1)
+	prepared := run(8)
+
+	for i := range legacy.TTF {
+		a, b := legacy.TTF[i], prepared.TTF[i]
+		if math.IsInf(a, 1) && math.IsInf(b, 1) {
+			continue
+		}
+		if d := math.Abs(a-b) / math.Max(math.Abs(a), 1); d > 1e-9 {
+			t.Fatalf("trial %d: prepared TTF %g vs legacy %g (rel %g)", i, b, a, d)
+		}
+		if len(legacy.EventComps[i]) != len(prepared.EventComps[i]) {
+			t.Fatalf("trial %d: %d events prepared vs %d legacy", i, len(prepared.EventComps[i]), len(legacy.EventComps[i]))
+		}
+		for j := range legacy.EventComps[i] {
+			if legacy.EventComps[i][j] != prepared.EventComps[i][j] {
+				t.Fatalf("trial %d event %d: failed array %d prepared vs %d legacy",
+					i, j, prepared.EventComps[i][j], legacy.EventComps[i][j])
+			}
+		}
+	}
+}
+
+// TestPreparedTrialsEngage verifies the preparation actually predicts and
+// serves first failures on the sparse path — guarding against the hook
+// silently degrading to the legacy solve everywhere.
+func TestPreparedTrialsEngage(t *testing.T) {
+	forceSparse(t)
+	g := mustGrid(t, smallSpec(), 0.05)
+	ref := refCurrentOf(t, g)
+	cfg := TTFConfig{Grid: g, Models: testModels(ref), Criterion: IRDrop, IRDropFrac: 0.10}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int64{101, 202, 303, 404}
+	if err := s.PrepareTrials(seeds); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.prep) != len(seeds) {
+		t.Fatalf("prepared %d entries, want %d", len(s.prep), len(seeds))
+	}
+	valid := 0
+	for _, e := range s.prep {
+		if e.valid {
+			valid++
+			if e.k < 0 || e.k >= s.NumComponents() || e.zoff < 0 {
+				t.Fatalf("valid entry with k=%d zoff=%d", e.k, e.zoff)
+			}
+		}
+	}
+	if valid == 0 {
+		t.Fatal("no prepared entry is valid; the batched path never engages")
+	}
+
+	// Weakest-link runs must not prepare at all: the trial ends at the first
+	// failure, before any re-solve the preparation could serve.
+	cfg.Criterion = WeakestLink
+	cfg.IRDropFrac = 0
+	wl, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.PrepareTrials(seeds); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.prep) != 0 {
+		t.Fatalf("weakest-link prepared %d entries, want 0", len(wl.prep))
+	}
+}
+
+// TestPreparedParallelMatchesSerial pins worker invariance of the batched
+// path end to end on a real grid system.
+func TestPreparedParallelMatchesSerial(t *testing.T) {
+	forceSparse(t)
+	g := mustGrid(t, smallSpec(), 0.05)
+	ref := refCurrentOf(t, g)
+	cfg := TTFConfig{Grid: g, Models: testModels(ref), Criterion: IRDrop, IRDropFrac: 0.10}
+	master, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mc.Options{Trials: 24, Seed: 3, BatchTrials: 6}
+	serial, err := mc.Run(master, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 3
+	parallel, err := mc.RunParallel(func() (mc.System, error) { return master.Clone(), nil }, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.TTF {
+		if serial.TTF[i] != parallel.TTF[i] && !(math.IsInf(serial.TTF[i], 1) && math.IsInf(parallel.TTF[i], 1)) {
+			t.Fatalf("trial %d: parallel TTF %g != serial %g", i, parallel.TTF[i], serial.TTF[i])
+		}
+	}
+}

@@ -114,6 +114,31 @@ type GridSystem struct {
 	// Fail always solves into the spare opNow does not occupy, so op0 is
 	// never overwritten and the inner loop allocates nothing.
 	opA, opB *spice.OP
+
+	// Batched trial preparation (mc.TrialPreparer). PrepareTrials predicts
+	// each upcoming trial's first failure from its seed, batch-solves the
+	// Sherman–Morrison correction vectors for the distinct first failures of
+	// the group in one multi-RHS sweep, and stores one entry per trial;
+	// BeginTrial consumes the entries in order and Fail serves the first
+	// post-failure solution from them instead of a triangular solve.
+	prep     []prepTrial
+	prepNext int
+	prepK    int // predicted first failure of the running trial; -1 = none
+	prepCoef float64
+	prepZOff int
+	prepZ    []float64 // correction vectors A⁻¹·u, one per distinct first failure
+	prepB    []float64 // batched right-hand sides (the u vectors)
+	yFree    []float64 // pristine free-node solution (gathered from op0 once)
+	xScratch []float64
+}
+
+// prepTrial is one prepared trial: the predicted first-failing array and the
+// Sherman–Morrison coefficient against correction vector zoff.
+type prepTrial struct {
+	k     int // first-failing via array; -1 when the trial never fails
+	zoff  int // index into prepZ; -1 when the failure leaves the free system unchanged
+	coef  float64
+	valid bool
 }
 
 // NewSystem compiles the grid and solves the pristine operating point. It
@@ -169,6 +194,8 @@ func (s *GridSystem) Clone() *GridSystem {
 // NumComponents returns the via-array count.
 func (s *GridSystem) NumComponents() int { return len(s.cfg.Grid.Vias) }
 
+var _ mc.TrialPreparer = (*GridSystem)(nil)
+
 // BeginTrial restores the pristine grid and samples array TTFs at their
 // nominal currents.
 func (s *GridSystem) BeginTrial(rng *rand.Rand) error {
@@ -201,7 +228,180 @@ func (s *GridSystem) BeginTrial(rng *rand.Rand) error {
 			s.baseTTF[k] *= s.cfg.TTFScale[k]
 		}
 	}
+	// Consume this trial's prepared entry, if a group was prepared. Entries
+	// are queued in trial order, matching the engine's in-order group run.
+	s.prepK = -1
+	if s.prepNext < len(s.prep) {
+		e := s.prep[s.prepNext]
+		s.prepNext++
+		if e.valid {
+			s.prepK = e.k
+			s.prepZOff = e.zoff
+			s.prepCoef = e.coef
+		}
+	}
 	return nil
+}
+
+// PrepareTrials implements mc.TrialPreparer: ahead of a trial group it
+// replays each trial's TTF sampling from its seed, predicts the trial's
+// first failure — the strict argmin of sampled TTF over arrays carrying
+// current, exactly the engine's first scheduling decision — and solves for
+// the distinct Sherman–Morrison correction vectors of the group in one
+// batched multi-RHS sweep over the pristine factor. Fail then reconstructs
+// the post-first-failure operating point as x = y − coef·z instead of
+// paying a per-trial triangular solve. Preparation is skipped (leaving the
+// exact legacy path) under the weakest-link criterion, off the sparse
+// direct backend, and for predicted failures touching a non-ground pad.
+func (s *GridSystem) PrepareTrials(seeds []int64) error {
+	s.prep = s.prep[:0]
+	s.prepNext = 0
+	s.prepK = -1
+	if s.cfg.Criterion == WeakestLink || s.circuit.SolverBackend() != spice.SolverSparse.String() {
+		return nil
+	}
+	// The corrections expand about the pristine system; make it current.
+	s.circuit.ResetResistors()
+	n := s.circuit.NumFree()
+	if s.yFree == nil {
+		s.yFree = make([]float64, n)
+		if err := s.circuit.GatherFree(s.yFree, s.op0); err != nil {
+			return err
+		}
+		s.xScratch = make([]float64, n)
+	}
+	// Predict each trial's first failure; deduplicate the correction solves.
+	zof := make(map[int]int, len(seeds)) // resistor index -> slot in prepZ
+	var zri []int                        // slot -> resistor index
+	rng := rand.New(rand.NewSource(0))
+	for _, seed := range seeds {
+		rng.Seed(seed)
+		// Mirror BeginTrial's sampling stream exactly: same draw order, same
+		// scaling, so the predicted argmin is the one the engine will pick.
+		minTTF := math.Inf(1)
+		k := -1
+		for i, v := range s.cfg.Grid.Vias {
+			var model viaarray.TTFModel
+			if s.cfg.PerViaModels != nil {
+				model = s.cfg.PerViaModels[i]
+			} else {
+				model = s.cfg.Models[v.Pattern]
+			}
+			ttf := model.Sample(rng, s.i0[i])
+			if s.cfg.TTFScale != nil {
+				ttf *= s.cfg.TTFScale[i]
+			}
+			if s.i0[i] > 0 && ttf < minTTF {
+				minTTF = ttf
+				k = i
+			}
+		}
+		e := prepTrial{k: -1, zoff: -1}
+		if k >= 0 && !math.IsInf(minTTF, 1) {
+			ri := s.cfg.Grid.Vias[k].ResistorIndex
+			fa, fb, _, _ := s.circuit.ResistorTerms(ri)
+			// Opening the resistor is the rank-one edit A → A + dg·u·uᵀ over
+			// the free nodes, u = e_fa − e_fb with pinned terminals dropped;
+			// a pinned terminal additionally shifts the right-hand side, which
+			// folds into the correction coefficient below. A resistor with no
+			// free terminal leaves the free system untouched (zoff −1: the
+			// post-failure solution is the pristine one).
+			if s.circuit.ResistorConductance(ri) > 0 {
+				zo := -1
+				if fa >= 0 || fb >= 0 {
+					var seen bool
+					if zo, seen = zof[ri]; !seen {
+						zo = len(zri)
+						zof[ri] = zo
+						zri = append(zri, ri)
+					}
+				}
+				e = prepTrial{k: k, zoff: zo, valid: true}
+			}
+		}
+		s.prep = append(s.prep, e)
+	}
+	m := len(zri)
+	if m == 0 {
+		return nil
+	}
+	if cap(s.prepZ) < m*n {
+		s.prepZ = make([]float64, m*n)
+		s.prepB = make([]float64, m*n)
+	}
+	s.prepZ = s.prepZ[:m*n]
+	s.prepB = s.prepB[:m*n]
+	for i := range s.prepB {
+		s.prepB[i] = 0
+	}
+	for zo, ri := range zri {
+		fa, fb, _, _ := s.circuit.ResistorTerms(ri)
+		if fa >= 0 {
+			s.prepB[zo*n+fa] = 1
+		}
+		if fb >= 0 {
+			s.prepB[zo*n+fb] = -1
+		}
+	}
+	// One batched sweep amortizes the factor traffic over the whole group.
+	if err := s.circuit.SolveFreeBatch(s.prepZ, s.prepB, m); err != nil {
+		// The sparse path degraded (e.g. factorization failure downgraded the
+		// backend); run the group on the legacy per-trial solves instead.
+		for i := range s.prep {
+			s.prep[i].valid = false
+		}
+		return nil
+	}
+	uDot := func(x []float64, fa, fb int) float64 {
+		v := 0.0
+		if fa >= 0 {
+			v += x[fa]
+		}
+		if fb >= 0 {
+			v -= x[fb]
+		}
+		return v
+	}
+	for i := range s.prep {
+		e := &s.prep[i]
+		if !e.valid || e.zoff < 0 {
+			continue
+		}
+		ri := s.cfg.Grid.Vias[e.k].ResistorIndex
+		fa, fb, va, vb := s.circuit.ResistorTerms(ri)
+		dg := -s.circuit.ResistorConductance(ri)
+		z := s.prepZ[e.zoff*n : (e.zoff+1)*n]
+		denom := 1 + dg*uDot(z, fa, fb)
+		if math.Abs(denom) < 1e-12 {
+			// Opening this array (nearly) disconnects the grid; the formula
+			// is ill-conditioned, so leave the trial on the legacy solve.
+			e.valid = false
+			continue
+		}
+		// The numerator is the full-space voltage drop across the resistor:
+		// a pinned terminal contributes its pad voltage where a free one
+		// contributes its pristine solve value (the pad's right-hand-side
+		// shift folds in exactly this way).
+		e.coef = dg * (uDot(s.yFree, fa, fb) + va - vb) / denom
+	}
+	return nil
+}
+
+// prepServe reconstructs the post-first-failure operating point from the
+// prepared Sherman–Morrison state into dst. A false return means the caller
+// must fall back to a legacy solve.
+func (s *GridSystem) prepServe(dst *spice.OP) bool {
+	x := s.xScratch
+	if s.prepZOff >= 0 {
+		n := len(x)
+		z := s.prepZ[s.prepZOff*n : (s.prepZOff+1)*n]
+		for i := range x {
+			x[i] = s.yFree[i] - s.prepCoef*z[i]
+		}
+	} else {
+		copy(x, s.yFree)
+	}
+	return s.circuit.ScatterFree(dst, x) == nil
 }
 
 // BaseTTF returns array k's sampled TTF.
@@ -234,8 +434,12 @@ func (s *GridSystem) Fail(k int) error {
 	if s.opNow == s.opA {
 		dst = s.opB
 	}
-	if err := s.circuit.SolveDCInto(dst, s.opNow); err != nil {
-		return fmt.Errorf("pdn: re-solve after failing array %d: %w", k, err)
+	// The first failure of a prepared trial is served from the batched
+	// Sherman–Morrison state; everything else pays the legacy solve.
+	if !(s.failedCount == 1 && k == s.prepK && s.prepServe(dst)) {
+		if err := s.circuit.SolveDCInto(dst, s.opNow); err != nil {
+			return fmt.Errorf("pdn: re-solve after failing array %d: %w", k, err)
+		}
 	}
 	s.opNow = dst
 	op := dst

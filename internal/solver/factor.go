@@ -1,0 +1,74 @@
+package solver
+
+import (
+	"fmt"
+
+	"emvia/internal/sparse"
+)
+
+// SparseFactor is the backend-neutral contract of the sparse direct
+// factorizations: the scalar up-looking SparseCholesky and the blocked
+// parallel SupernodalCholesky. Consumers (the SPICE engine, the Monte-Carlo
+// trial loop) program against this interface so the backend can be picked by
+// system size without touching the call sites.
+//
+// Both implementations guarantee the same semantics: fixed sparsity pattern
+// after construction, allocation-free refactorization/solves, rank-one edge
+// up/downdates with identical LINPACK arithmetic, and bit-identical solve
+// results for a given factor regardless of backend-internal scheduling.
+type SparseFactor interface {
+	// N returns the system dimension.
+	N() int
+	// NNZ returns the stored entry count of L, diagonal included.
+	NNZ() int
+	// Perm returns the elimination order (internal slice; do not modify).
+	Perm() []int
+	// RefactorFromCSR refactors numerically in place from a matrix with the
+	// pattern of the symbolic analysis.
+	RefactorFromCSR(a *sparse.CSR) error
+	// SolveInto overwrites x with A⁻¹·b without allocating.
+	SolveInto(x, b []float64) error
+	// SolveBatchInto solves nrhs stacked systems (vector v at [v·n, (v+1)·n))
+	// in one pass, bit-identical to nrhs separate SolveInto calls.
+	SolveBatchInto(x, b []float64, nrhs int) error
+	// UpdateEdge applies A → A + s²·(e_fa−e_fb)·(e_fa−e_fb)ᵀ in original
+	// indices; a negative terminal index means "pinned node" (absent).
+	UpdateEdge(fa, fb int, s float64)
+	// DowndateEdge applies A → A − s²·(e_fa−e_fb)·(e_fa−e_fb)ᵀ. On ErrNotSPD
+	// the factor is garbage and must be refactored.
+	DowndateEdge(fa, fb int, s float64) error
+	// Restore overwrites the numeric factor with a copy of src's, which must
+	// be the same backend with the same symbolic structure.
+	Restore(src SparseFactor) error
+	// CloneFactor returns an independent copy with private numeric state.
+	CloneFactor() SparseFactor
+}
+
+// Restore implements SparseFactor for the scalar backend.
+func (c *SparseCholesky) Restore(src SparseFactor) error {
+	s, ok := src.(*SparseCholesky)
+	if !ok {
+		return fmt.Errorf("solver: Restore backend mismatch: %T into %T", src, c)
+	}
+	return c.Set(s)
+}
+
+// CloneFactor implements SparseFactor for the scalar backend.
+func (c *SparseCholesky) CloneFactor() SparseFactor { return c.Clone() }
+
+// Restore implements SparseFactor for the supernodal backend.
+func (c *SupernodalCholesky) Restore(src SparseFactor) error {
+	s, ok := src.(*SupernodalCholesky)
+	if !ok {
+		return fmt.Errorf("solver: Restore backend mismatch: %T into %T", src, c)
+	}
+	return c.Set(s)
+}
+
+// CloneFactor implements SparseFactor for the supernodal backend.
+func (c *SupernodalCholesky) CloneFactor() SparseFactor { return c.Clone() }
+
+var (
+	_ SparseFactor = (*SparseCholesky)(nil)
+	_ SparseFactor = (*SupernodalCholesky)(nil)
+)

@@ -159,6 +159,9 @@ type Workspace struct {
 	// partials holds the per-block partial sums of the deterministic
 	// blocked dot products (one slot per dotBlock-sized chunk).
 	partials []float64
+	// kern holds the pooled kernel dispatch closures, created once on the
+	// first parallel solve so multi-worker iterations allocate nothing.
+	kern kernCtx
 }
 
 // Reserve grows the workspace to dimension n.
@@ -217,10 +220,12 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 
 	pool := opt.Pool
 	var x, r, z, p, ap, partials []float64
+	var kc *kernCtx
 	if opt.Work != nil {
 		opt.Work.Reserve(n)
 		x, r, z, p, ap = opt.Work.X, opt.Work.r, opt.Work.z, opt.Work.p, opt.Work.a
 		partials = opt.Work.partials
+		kc = &opt.Work.kern
 		for i := range x {
 			x[i] = 0
 		}
@@ -231,13 +236,15 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		p = make([]float64, n)
 		ap = make([]float64, n)
 		partials = make([]float64, partialsLen(n))
+		kc = &kernCtx{}
 	}
+	kc.bind(pool)
 	if opt.X0 != nil {
 		if len(opt.X0) != n {
 			return nil, Stats{}, fmt.Errorf("solver: CG warm start length %d does not match dimension %d", len(opt.X0), n)
 		}
 		copy(x, opt.X0)
-		mulVec(a, r, x, pool)
+		kc.mul(a, r, x)
 		for i := range r {
 			r[i] = b[i] - r[i]
 		}
@@ -245,7 +252,7 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 		copy(r, b)
 	}
 
-	bnorm := math.Sqrt(dotDet(b, b, partials, pool))
+	bnorm := math.Sqrt(kc.dot(b, b, partials))
 	if bnorm == 0 {
 		// b = 0 ⇒ x = 0 exactly.
 		for i := range x {
@@ -257,29 +264,29 @@ func CG(a *sparse.CSR, b []float64, opt Options) ([]float64, Stats, error) {
 
 	m.Apply(z, r)
 	copy(p, z)
-	rz := dotDet(r, z, partials, pool)
+	rz := kc.dot(r, z, partials)
 
-	res := math.Sqrt(dotDet(r, r, partials, pool)) / bnorm
+	res := math.Sqrt(kc.dot(r, r, partials)) / bnorm
 	var it int
 	for it = 0; it < maxIter && res > tol; it++ {
-		mulVec(a, ap, p, pool)
-		pap := dotDet(p, ap, partials, pool)
+		kc.mul(a, ap, p)
+		pap := kc.dot(p, ap, partials)
 		if pap <= 0 || math.IsNaN(pap) {
 			return x, Stats{Iterations: it, Residual: res},
 				fmt.Errorf("%w: pᵀAp = %g at iteration %d", ErrNotSPD, pap, it)
 		}
 		alpha := rz / pap
-		cgUpdate(x, r, p, ap, alpha, pool)
-		res = math.Sqrt(dotDet(r, r, partials, pool)) / bnorm
+		kc.update(x, r, p, ap, alpha)
+		res = math.Sqrt(kc.dot(r, r, partials)) / bnorm
 		if res <= tol {
 			it++
 			break
 		}
 		m.Apply(z, r)
-		rzNew := dotDet(r, z, partials, pool)
+		rzNew := kc.dot(r, z, partials)
 		beta := rzNew / rz
 		rz = rzNew
-		cgDirection(p, z, beta, pool)
+		kc.direction(p, z, beta)
 	}
 	st := Stats{Iterations: it, Residual: res}
 	recordCG(st)

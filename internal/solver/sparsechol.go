@@ -46,6 +46,7 @@ type SparseCholesky struct {
 	x    []float64 // factorization scatter workspace; all-zero between calls
 	wbuf []float64 // up/downdate workspace; all-zero between calls
 	z    []float64 // permuted solve vector
+	zb   []float64 // batch solve scratch, grown on demand
 	fill []int     // per-column fill cursor during refactorization
 }
 
@@ -283,6 +284,74 @@ func (c *SparseCholesky) SolveInto(x, b []float64) error {
 	return nil
 }
 
+// SolveBatchInto solves nrhs systems in one blocked pass: b and x hold nrhs
+// stacked vectors (vector v occupies [v·n, (v+1)·n)). The sweep streams each
+// column's pattern once for all right-hand sides, with the per-vector
+// arithmetic identical to nrhs separate SolveInto calls — batched and looped
+// solves agree bit for bit, the index traversal and factor loads are
+// amortized nrhs-fold.
+func (c *SparseCholesky) SolveBatchInto(x, b []float64, nrhs int) error {
+	if nrhs <= 0 {
+		return fmt.Errorf("solver: SolveBatchInto nrhs %d", nrhs)
+	}
+	if len(b) != c.n*nrhs || len(x) != c.n*nrhs {
+		return fmt.Errorf("solver: SolveBatchInto lengths %d/%d, want %d", len(x), len(b), c.n*nrhs)
+	}
+	recordSparse(telemetry.SparseSolves)
+	n, lx := c.n, c.lx
+	if cap(c.zb) < n*nrhs {
+		c.zb = make([]float64, n*nrhs)
+	}
+	zb := c.zb[:n*nrhs]
+	// Row-major permuted panel: the nrhs values of permuted row k are
+	// contiguous at [k·nrhs, (k+1)·nrhs), so the inner loops vectorize.
+	for k := 0; k < n; k++ {
+		p := c.perm[k]
+		row := zb[k*nrhs : (k+1)*nrhs]
+		for v := 0; v < nrhs; v++ {
+			row[v] = b[v*n+p]
+		}
+	}
+	for j := 0; j < n; j++ { // forward: L·z' = P·b
+		d := lx[c.colptr[j]]
+		zr := zb[j*nrhs : (j+1)*nrhs]
+		for v := range zr {
+			zr[v] /= d
+		}
+		for p := c.colptr[j] + 1; p < c.colptr[j+1]; p++ {
+			l := lx[p]
+			i := int(c.rowind[p])
+			tr := zb[i*nrhs : (i+1)*nrhs]
+			for v := range tr {
+				tr[v] -= l * zr[v]
+			}
+		}
+	}
+	for j := n - 1; j >= 0; j-- { // backward: Lᵀ·z = z'
+		zr := zb[j*nrhs : (j+1)*nrhs]
+		for p := c.colptr[j] + 1; p < c.colptr[j+1]; p++ {
+			l := lx[p]
+			i := int(c.rowind[p])
+			sr := zb[i*nrhs : (i+1)*nrhs]
+			for v := range zr {
+				zr[v] -= l * sr[v]
+			}
+		}
+		d := lx[c.colptr[j]]
+		for v := range zr {
+			zr[v] /= d
+		}
+	}
+	for k := 0; k < n; k++ {
+		p := c.perm[k]
+		row := zb[k*nrhs : (k+1)*nrhs]
+		for v := 0; v < nrhs; v++ {
+			x[v*n+p] = row[v]
+		}
+	}
+	return nil
+}
+
 // UpdateEdge applies the rank-one update A → A + s²·u·uᵀ with u = e_fa − e_fb
 // in original (unpermuted) indices; a terminal of −1 (pad or ground side of a
 // resistor) drops out of u. The entry (fa, fb) must be part of A's sparsity
@@ -399,6 +468,7 @@ func (c *SparseCholesky) Clone() *SparseCholesky {
 	d.x = make([]float64, c.n)
 	d.wbuf = make([]float64, c.n)
 	d.z = make([]float64, c.n)
+	d.zb = nil
 	d.fill = make([]int, c.n)
 	return &d
 }

@@ -1,0 +1,431 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"emvia/internal/par"
+	"emvia/internal/sparse"
+)
+
+// blockDiag stacks two square matrices into one block-diagonal system.
+func blockDiag(a, b *sparse.CSR) *sparse.CSR {
+	na, _ := a.Dims()
+	nb, _ := b.Dims()
+	n := na + nb
+	tr := sparse.NewTriplet(n, n, a.NNZ()+b.NNZ())
+	for i := 0; i < na; i++ {
+		cols, vals := a.Row(i)
+		for t, c := range cols {
+			tr.Add(i, c, vals[t])
+		}
+	}
+	for i := 0; i < nb; i++ {
+		cols, vals := b.Row(i)
+		for t, c := range cols {
+			tr.Add(na+i, na+c, vals[t])
+		}
+	}
+	return tr.ToCSR()
+}
+
+// TestSupernodalMatchesScalarAndDense cross-checks the three direct backends:
+// supernodal and scalar-sparse factor the same ordered system, dense factors
+// it without reordering; all three are exact, so the solutions must agree to
+// rounding.
+func TestSupernodalMatchesScalarAndDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	systems := []*sparse.CSR{
+		gridLaplacian(15, 17),
+		laplacian1D(64),
+	}
+	spd, _ := randomSPD(rng, 48)
+	systems = append(systems, spd)
+	for ci, a := range systems {
+		n, _ := a.Dims()
+		perm := AMDOrder(a)
+		sup, err := NewSupernodalCholeskyOrdered(a, perm, nil)
+		if err != nil {
+			t.Fatalf("case %d: supernodal: %v", ci, err)
+		}
+		scal, err := NewSparseCholeskyOrdered(a, perm)
+		if err != nil {
+			t.Fatalf("case %d: scalar: %v", ci, err)
+		}
+		dense := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			cols, vals := a.Row(i)
+			for t2, c := range cols {
+				dense[i*n+c] = vals[t2]
+			}
+		}
+		dc, err := NewDenseCholesky(dense, n)
+		if err != nil {
+			t.Fatalf("case %d: dense: %v", ci, err)
+		}
+		// Amalgamation stores some explicit zeros, so the supernodal panels
+		// hold at least the scalar fill but only boundedly more.
+		if sup.NNZ() < scal.NNZ() {
+			t.Fatalf("case %d: supernodal fill %d below scalar fill %d under the same ordering", ci, sup.NNZ(), scal.NNZ())
+		}
+		// The absolute amalgamation slack dominates on near-band systems, so
+		// the bound carries a constant term alongside the ratio.
+		if sup.NNZ() > 2*scal.NNZ()+64 {
+			t.Fatalf("case %d: supernodal fill %d more than 2x scalar fill %d", ci, sup.NNZ(), scal.NNZ())
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xs, xc, xd := make([]float64, n), make([]float64, n), make([]float64, n)
+		if err := sup.SolveInto(xs, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := scal.SolveInto(xc, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := dc.SolveInto(xd, b); err != nil {
+			t.Fatal(err)
+		}
+		scale := 0.0
+		for i := range xd {
+			if v := math.Abs(xd[i]); v > scale {
+				scale = v
+			}
+		}
+		for i := range xs {
+			if d := math.Abs(xs[i]-xc[i]) / scale; d > 1e-10 {
+				t.Fatalf("case %d: supernodal vs scalar differ at %d: %g vs %g", ci, i, xs[i], xc[i])
+			}
+			if d := math.Abs(xs[i]-xd[i]) / scale; d > 1e-10 {
+				t.Fatalf("case %d: supernodal vs dense differ at %d: %g vs %g", ci, i, xs[i], xd[i])
+			}
+		}
+	}
+}
+
+// TestSupernodalBatchSolveBitIdentical pins the batch-solve contract on every
+// backend: SolveBatchInto must reproduce nrhs looped SolveInto calls bit for
+// bit, not just to rounding.
+func TestSupernodalBatchSolveBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := gridLaplacian(40, 41)
+	n, _ := a.Dims()
+	const nrhs = 7
+	b := make([]float64, n*nrhs)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	sup, err := NewSupernodalCholeskyFromCSR(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scal, err := NewSparseCholeskyFromCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []struct {
+		name string
+		f    SparseFactor
+	}{{"supernodal", sup}, {"scalar", scal}}
+	for _, bk := range backends {
+		batch := make([]float64, n*nrhs)
+		if err := bk.f.SolveBatchInto(batch, b, nrhs); err != nil {
+			t.Fatalf("%s: %v", bk.name, err)
+		}
+		loop := make([]float64, n)
+		for v := 0; v < nrhs; v++ {
+			if err := bk.f.SolveInto(loop, b[v*n:(v+1)*n]); err != nil {
+				t.Fatalf("%s: %v", bk.name, err)
+			}
+			for i := range loop {
+				if math.Float64bits(batch[v*n+i]) != math.Float64bits(loop[i]) {
+					t.Fatalf("%s: batch and looped solve differ at rhs %d entry %d: %x vs %x",
+						bk.name, v, i, math.Float64bits(batch[v*n+i]), math.Float64bits(loop[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestSupernodalWorkerDeterminism is the determinism matrix of ISSUE 6: on an
+// nx200-class grid the factor values and solve results must be bit-identical
+// at 1, 2, 4 and 8 workers.
+func TestSupernodalWorkerDeterminism(t *testing.T) {
+	a := gridLaplacian(200, 200)
+	n, _ := a.Dims()
+	perm := AutoOrder(a)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i))
+	}
+	var refPx []float64
+	var refX []float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		var pool *par.Pool
+		if workers > 1 {
+			pool = par.New(workers)
+			defer pool.Close()
+		}
+		c, err := NewSupernodalCholeskyOrdered(a, perm, pool)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		x := make([]float64, n)
+		if err := c.SolveInto(x, b); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if refPx == nil {
+			refPx = append([]float64(nil), c.px...)
+			refX = x
+			continue
+		}
+		for i := range refPx {
+			if math.Float64bits(c.px[i]) != math.Float64bits(refPx[i]) {
+				t.Fatalf("workers=%d: factor differs from workers=1 at panel entry %d", workers, i)
+			}
+		}
+		for i := range refX {
+			if math.Float64bits(x[i]) != math.Float64bits(refX[i]) {
+				t.Fatalf("workers=%d: solution differs from workers=1 at %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestSupernodalUpdateDowndateMatchesScalar drives identical edge up/downdate
+// sequences through both sparse backends and checks they keep agreeing with a
+// from-scratch refactorization.
+func TestSupernodalUpdateDowndateMatchesScalar(t *testing.T) {
+	a := gridLaplacian(12, 14)
+	n, _ := a.Dims()
+	perm := AMDOrder(a)
+	sup, err := NewSupernodalCholeskyOrdered(a, perm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scal, err := NewSparseCholeskyOrdered(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := []struct {
+		i, j int
+		dg   float64
+	}{
+		{3, 4, 0.7},
+		{20, 34, 1.3},
+		{100, 101, 0.25},
+		{3, 4, -0.5}, // partial downdate of the first edit
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64((i*7)%11) - 5
+	}
+	for ei, e := range edges {
+		s := math.Sqrt(math.Abs(e.dg))
+		if e.dg >= 0 {
+			sup.UpdateEdge(e.i, e.j, s)
+			scal.UpdateEdge(e.i, e.j, s)
+		} else {
+			if err := sup.DowndateEdge(e.i, e.j, s); err != nil {
+				t.Fatalf("edit %d: supernodal downdate: %v", ei, err)
+			}
+			if err := scal.DowndateEdge(e.i, e.j, s); err != nil {
+				t.Fatalf("edit %d: scalar downdate: %v", ei, err)
+			}
+		}
+		applyEdgeDelta(a, e.i, e.j, e.dg)
+		ref, err := NewSparseCholeskyOrdered(a, perm)
+		if err != nil {
+			t.Fatalf("edit %d: refactor: %v", ei, err)
+		}
+		xs, xc, xr := make([]float64, n), make([]float64, n), make([]float64, n)
+		if err := sup.SolveInto(xs, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := scal.SolveInto(xc, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.SolveInto(xr, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			if d := math.Abs(xs[i] - xc[i]); d > 1e-10 {
+				t.Fatalf("edit %d: supernodal vs scalar differ at %d: %g vs %g", ei, i, xs[i], xc[i])
+			}
+			if d := math.Abs(xs[i] - xr[i]); d > 1e-8 {
+				t.Fatalf("edit %d: supernodal vs refactored differ at %d: %g vs %g", ei, i, xs[i], xr[i])
+			}
+		}
+	}
+}
+
+// TestSupernodalRefactorTracksEdits mirrors the engine's epoch protocol:
+// mutate the matrix in place, RefactorFromCSR, and check against a fresh
+// factorization.
+func TestSupernodalRefactorTracksEdits(t *testing.T) {
+	a := gridLaplacian(25, 25)
+	n, _ := a.Dims()
+	c, err := NewSupernodalCholeskyFromCSR(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyEdgeDelta(a, 5, 30, 2.5)
+	applyEdgeDelta(a, 200, 225, -0.8)
+	if err := c.RefactorFromCSR(a); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSupernodalCholeskyOrdered(a, c.Perm(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.px {
+		if math.Float64bits(c.px[i]) != math.Float64bits(fresh.px[i]) {
+			t.Fatalf("refactored panel differs from fresh factorization at %d", i)
+		}
+	}
+	_ = n
+}
+
+func TestSupernodalDowndateRejectsIndefinite(t *testing.T) {
+	a := gridLaplacian(10, 10)
+	c, err := NewSupernodalCholeskyFromCSR(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing far more conductance than the edge carries drives the matrix
+	// indefinite; the downdate must report it.
+	if err := c.DowndateEdge(4, 5, 10); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("downdate of indefinite matrix returned %v, want ErrNotSPD", err)
+	}
+}
+
+func TestSupernodalRejectsIndefiniteMatrix(t *testing.T) {
+	tr := sparse.NewTriplet(2, 2, 4)
+	tr.Add(0, 0, 1)
+	tr.Add(0, 1, 3)
+	tr.Add(1, 0, 3)
+	tr.Add(1, 1, 1)
+	if _, err := NewSupernodalCholeskyFromCSR(tr.ToCSR(), nil); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("factorization of indefinite matrix returned %v, want ErrNotSPD", err)
+	}
+}
+
+func TestSupernodalSetCloneRestore(t *testing.T) {
+	a := gridLaplacian(14, 14)
+	n, _ := a.Dims()
+	c, err := NewSupernodalCholeskyFromCSR(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := c.Clone()
+	c.UpdateEdge(7, 8, 1.5)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x1 := make([]float64, n)
+	if err := c.SolveInto(x1, b); err != nil {
+		t.Fatal(err)
+	}
+	// Restore through the SparseFactor interface and verify the pristine
+	// solution returns bit-exactly.
+	x0 := make([]float64, n)
+	if err := pristine.SolveInto(x0, b); err != nil {
+		t.Fatal(err)
+	}
+	var f SparseFactor = c
+	if err := f.Restore(pristine); err != nil {
+		t.Fatal(err)
+	}
+	x2 := make([]float64, n)
+	if err := c.SolveInto(x2, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x0 {
+		if math.Float64bits(x0[i]) != math.Float64bits(x2[i]) {
+			t.Fatalf("restored factor solution differs at %d", i)
+		}
+	}
+	// Backend mismatch must be rejected, not silently ignored.
+	scal, err := NewSparseCholeskyFromCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Restore(scal); err == nil {
+		t.Fatal("Restore accepted a mismatched backend")
+	}
+}
+
+// TestSupernodalZeroAllocHotPath pins the allocation-free contract of the
+// refactor/solve/batch cycle on the serial path.
+func TestSupernodalZeroAllocHotPath(t *testing.T) {
+	a := gridLaplacian(20, 20)
+	n, _ := a.Dims()
+	c, err := NewSupernodalCholeskyFromCSR(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nrhs = 4
+	b := make([]float64, n*nrhs)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n*nrhs)
+	if err := c.SolveBatchInto(x, b, nrhs); err != nil { // sizes zb once
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := c.RefactorFromCSR(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SolveInto(x[:n], b[:n]); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SolveBatchInto(x, b, nrhs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("refactor/solve cycle allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestSupernodalPartitionInvariants sanity-checks the supernode partition on
+// a mesh: contiguous coverage and width caps.
+func TestSupernodalPartitionInvariants(t *testing.T) {
+	a := gridLaplacian(30, 31)
+	n, _ := a.Dims()
+	c, err := NewSupernodalCholeskyFromCSR(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(c.snCol[0]) != 0 || int(c.snCol[c.nsup]) != n {
+		t.Fatalf("supernode columns do not cover [0, %d)", n)
+	}
+	for s := 0; s < c.nsup; s++ {
+		w := int(c.snCol[s+1] - c.snCol[s])
+		if w <= 0 || w > snMaxWidth {
+			t.Fatalf("supernode %d has width %d", s, w)
+		}
+		rows := c.snRows[c.snRptr[s]:c.snRptr[s+1]]
+		if len(rows) < w {
+			t.Fatalf("supernode %d has %d rows for width %d", s, len(rows), w)
+		}
+		for jj := 0; jj < w; jj++ {
+			if int(rows[jj]) != int(c.snCol[s])+jj {
+				t.Fatalf("supernode %d row list does not start with its own columns", s)
+			}
+		}
+		for u := 1; u < len(rows); u++ {
+			if rows[u] <= rows[u-1] {
+				t.Fatalf("supernode %d row list not strictly ascending at %d", s, u)
+			}
+		}
+	}
+	if c.nsup >= n {
+		t.Fatalf("mesh factor found no supernodes wider than one column (%d supernodes for %d columns)", c.nsup, n)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"emvia/internal/par"
 	"emvia/internal/solver"
 	"emvia/internal/sparse"
 	"emvia/internal/trace"
@@ -19,6 +20,12 @@ const (
 	// triangular solves beat CG iteration, and failure edits become O(n²)
 	// factor updates instead of fresh Krylov solves.
 	defaultDirectMaxNodes = 256
+	// supernodalMinNodes is the free-node count at and above which the sparse
+	// direct path uses the blocked supernodal factorization instead of the
+	// scalar up-looking one. Below it the scalar factor's lower constant wins;
+	// above it the supernodal panels amortize indexing across dense columns
+	// and the elimination-tree level schedule can use the solver worker pool.
+	supernodalMinNodes = 2048
 	// sparseUpdateBudget caps how many rank-one factor updates may accumulate
 	// between solves on the sparse direct path. A failure cascade edits one
 	// resistor per solve and never comes near it; a bulk value push (load
@@ -145,8 +152,8 @@ type assembly struct {
 	// sweeps over nnz(L). needRefactor is shared with the dense path (only
 	// one direct backend is ever active).
 	sparseDirect bool
-	schol        *solver.SparseCholesky
-	schol0       *solver.SparseCholesky
+	schol        solver.SparseFactor
+	schol0       solver.SparseFactor
 	pendingEdits int // factor updates since the last solve (sparseUpdateBudget)
 
 	// Iterative-path scratch: CG workspace and the warm-start vector.
@@ -608,7 +615,7 @@ func (c *Circuit) ResetResistors() {
 		a.pendingEdits = 0
 		if a.schol0 != nil {
 			// Pristine factor restored by memcpy — no refactorization.
-			a.schol.Set(a.schol0) //nolint:errcheck // clone shares the structure
+			a.schol.Restore(a.schol0) //nolint:errcheck // clone shares the structure
 			a.needRefactor = false
 		} else if err := c.ensureSparseFactor(); err != nil {
 			// Matrix values are pristine, so a factorization failure here
@@ -617,7 +624,7 @@ func (c *Circuit) ResetResistors() {
 		} else {
 			// First trial reset: mat holds pristine values, so the factor
 			// just built is the pristine one — snapshot it for later resets.
-			a.schol0 = a.schol.Clone()
+			a.schol0 = a.schol.CloneFactor()
 		}
 		return
 	}
@@ -748,10 +755,10 @@ func (c *Circuit) Clone() *Circuit {
 		b.chol0 = a.chol0.Clone()
 	}
 	if a.schol != nil {
-		b.schol = a.schol.Clone()
+		b.schol = a.schol.CloneFactor()
 	}
 	if a.schol0 != nil {
-		b.schol0 = a.schol0.Clone()
+		b.schol0 = a.schol0.CloneFactor()
 	}
 	if a.direct {
 		b.w = make([]float64, c.nFree)
@@ -926,16 +933,24 @@ func (c *Circuit) ensureFactor() error {
 }
 
 // ensureSparseFactor builds (or refactors, after a downdate breakdown) the
-// cached sparse factor from the current matrix values. The first build pays
-// the AMD ordering and symbolic analysis; refactorizations reuse the static
-// structure and allocate nothing.
+// cached sparse factor from the current matrix values. The first build picks
+// the backend by size — scalar up-looking below supernodalMinNodes free
+// nodes, blocked supernodal above with nested-dissection ordering and the
+// process solver pool — and pays the ordering plus symbolic analysis;
+// refactorizations reuse the static structure and allocate nothing.
 func (c *Circuit) ensureSparseFactor() error {
 	a := c.asm
 	done := trace.Default().Span("spice.sparse.factor")
 	defer done()
 	t0 := c.met.factorSeconds.Start()
 	if a.schol == nil {
-		schol, err := solver.NewSparseCholeskyFromCSR(a.mat)
+		var schol solver.SparseFactor
+		var err error
+		if c.nFree >= supernodalMinNodes {
+			schol, err = solver.NewSupernodalCholeskyFromCSR(a.mat, par.Shared(SolverWorkers()))
+		} else {
+			schol, err = solver.NewSparseCholeskyFromCSR(a.mat)
+		}
 		if err != nil {
 			return err
 		}
@@ -974,6 +989,97 @@ func (c *Circuit) scatter(op *OP, x []float64) {
 			op.volts[i] = c.fixed[i]
 		}
 	}
+}
+
+// NumFree returns the free (unpinned) node count — the dimension of the
+// compiled linear system.
+func (c *Circuit) NumFree() int { return c.nFree }
+
+// ResistorTerms returns the free equation indices of resistor i's terminals
+// (-1 when a terminal is a pad or ground) and the pinned voltage of each
+// non-free terminal (0 for ground or for a free terminal). Batch trial
+// preparation uses it to build the rank-one edit vector of a failure without
+// reaching into the compiled slot map.
+func (c *Circuit) ResistorTerms(i int) (fa, fb int, va, vb float64) {
+	r := c.res[i]
+	fa, fb = c.freeTerm(r.a), c.freeTerm(r.b)
+	if r.a >= 0 && fa < 0 {
+		va = c.fixed[r.a]
+	}
+	if r.b >= 0 && fb < 0 {
+		vb = c.fixed[r.b]
+	}
+	return fa, fb, va, vb
+}
+
+// ResistorConductance returns the effective conductance of resistor i: its
+// stamped value, or 0 while disabled.
+func (c *Circuit) ResistorConductance(i int) float64 {
+	if c.res[i].disabled {
+		return 0
+	}
+	return c.res[i].cond
+}
+
+// SolveFreeBatch solves the compiled free-node system for nrhs stacked
+// right-hand sides (vector v occupies b[v·n:(v+1)·n], likewise x) against the
+// current cached sparse factor, bit-identical to nrhs separate solves. It is
+// only available on the sparse direct path — the batched triangular sweeps
+// are how Monte-Carlo trial groups amortize factor traffic — and builds the
+// factor on first use like SolveDCInto would.
+func (c *Circuit) SolveFreeBatch(x, b []float64, nrhs int) error {
+	if c.asm == nil {
+		c.compile()
+	}
+	a := c.asm
+	if !a.sparseDirect {
+		return fmt.Errorf("spice: SolveFreeBatch needs the sparse direct path (backend is %s)", c.SolverBackend())
+	}
+	if a.schol == nil || a.needRefactor {
+		if err := c.ensureSparseFactor(); err != nil {
+			a.sparseDirect = false
+			return fmt.Errorf("spice: SolveFreeBatch factorization: %w", err)
+		}
+	}
+	return a.schol.SolveBatchInto(x, b, nrhs)
+}
+
+// ScatterFree expands a free-node solution x (length NumFree) into the
+// per-node voltages of op, exactly as an internal solve would. op is bound to
+// this circuit and its iterative-solver stats are cleared: the caller is
+// asserting x is an exact solve of the current system.
+func (c *Circuit) ScatterFree(op *OP, x []float64) error {
+	if op == nil {
+		return fmt.Errorf("spice: ScatterFree needs a destination OP")
+	}
+	if len(x) != c.nFree {
+		return fmt.Errorf("spice: ScatterFree got %d values, want %d", len(x), c.nFree)
+	}
+	op.c = c
+	if len(op.volts) != len(c.names) {
+		op.volts = make([]float64, len(c.names))
+	}
+	op.stats = solver.Stats{}
+	c.scatter(op, x)
+	return nil
+}
+
+// GatherFree collects the free-node voltages of op into x (length NumFree) —
+// the inverse of ScatterFree, used to seed batch preparation with the cached
+// pristine solution instead of re-solving for it.
+func (c *Circuit) GatherFree(x []float64, op *OP) error {
+	if op == nil || op.c != c {
+		return fmt.Errorf("spice: GatherFree needs an OP of this circuit")
+	}
+	if len(x) != c.nFree {
+		return fmt.Errorf("spice: GatherFree got %d slots, want %d", len(x), c.nFree)
+	}
+	for i := range c.names {
+		if fi := c.freeIdx[i]; fi >= 0 {
+			x[fi] = op.volts[i]
+		}
+	}
+	return nil
 }
 
 // CloneFor returns a copy of the operating point bound to clone, which must

@@ -6,8 +6,9 @@
 #
 # The snapshot protocol is fixed so numbers recorded across commits — e.g.
 # the baseline/current sections of BENCH_1.json and BENCH_2.json — are
-# comparable: the grid benchmarks run at -benchtime=100x (their op is sub-ms)
-# and the FEA benchmarks at -benchtime=10x (their op is ~0.1–1 s), both with
+# comparable: the grid benchmarks run at -benchtime=100x (their op is sub-ms),
+# the large GridSolve tiers (nx200/nx400, ~20–80 ms/op) at -benchtime=10x,
+# and the FEA benchmarks at -benchtime=10x (their op is ~0.1–1 s), all with
 # -count=1 -benchmem. Parsing keys on the unit tokens, not field positions,
 # because some benchmarks report extra custom metrics.
 set -eu
@@ -16,11 +17,17 @@ cd "$(dirname "$0")/.."
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-grid_benches='BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkGridSolve|BenchmarkSparseCholeskyFactor'
+grid_benches='BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkSparseCholeskyFactor'
+grid_small='BenchmarkGridSolve/^nx(10|20|40|80)$'
+grid_large='BenchmarkGridSolve/^nx(200|400)$'
 fea_benches='BenchmarkFig1StressProfile|BenchmarkFig6Patterns|BenchmarkFig7ArraySize|BenchmarkFEAWorkers|BenchmarkStressCacheWarm'
 
 go test -run '^$' -bench "$grid_benches" \
     -benchmem -benchtime=100x -count=1 . | tee "$tmp"
+go test -run '^$' -bench "$grid_small" \
+    -benchmem -benchtime=100x -count=1 . | tee -a "$tmp"
+go test -run '^$' -bench "$grid_large" \
+    -benchmem -benchtime=10x -count=1 . | tee -a "$tmp"
 go test -run '^$' -bench "$fea_benches" \
     -benchmem -benchtime=10x -count=1 . | tee -a "$tmp"
 
@@ -29,7 +36,7 @@ go test -run '^$' -bench "$fea_benches" \
     printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
     printf '  "cpu": "%s",\n' "$(awk -F: '/^cpu:/ {sub(/^[ \t]+/, "", $2); print $2; exit}' "$tmp")"
-    printf '  "protocol": "go test -run ^$ -bench <group> -benchmem -count=1 .; grid group (%s) at -benchtime=100x, FEA group (%s) at -benchtime=10x",\n' "$grid_benches" "$fea_benches"
+    printf '  "protocol": "go test -run ^$ -bench <group> -benchmem -count=1 .; grid group (%s) and small GridSolve tiers (%s) at -benchtime=100x, large GridSolve tiers (%s) and FEA group (%s) at -benchtime=10x",\n' "$grid_benches" "$grid_small" "$grid_large" "$fea_benches"
     printf '  "benchmarks": {\n'
     awk '/^Benchmark/ {
         name = $1
