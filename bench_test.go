@@ -17,6 +17,7 @@ import (
 	"emvia/internal/emdist"
 	"emvia/internal/fem"
 	"emvia/internal/korhonen"
+	"emvia/internal/mc"
 	"emvia/internal/par"
 	"emvia/internal/pdn"
 	"emvia/internal/phys"
@@ -639,4 +640,83 @@ func BenchmarkKorhonenPDE(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGridMCScreened measures the -engine=both payoff on the nx200
+// Monte-Carlo path (40 000 via arrays, weakest-link system criterion — the
+// sampling-bound regime where lifetime draws are the whole trial cost). The
+// grid is tuned to a realistic 1 % nominal IR budget, where the steady
+// screen classifies ~14 % of the arrays mortal; the screened run samples
+// only those, so the pair exposes the end-to-end pruning speedup directly.
+// Both sub-benchmarks run identical trial counts from the same seed, and
+// the screened one asserts the zero-miss contract every iteration.
+func BenchmarkGridMCScreened(b *testing.B) {
+	spec := pdn.PG1Spec()
+	spec.NX, spec.NY = 200, 200
+	spec.PadPeriod = 3
+	g, err := pdn.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const refViaAmps = 0.01
+	if err := g.Tune(0.010, refViaAmps); err != nil {
+		b.Fatal(err)
+	}
+	screen, err := pdn.ScreenGrid(g, pdn.ScreenConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if screen.MortalVias == 0 {
+		b.Fatal("screen classified no via mortal")
+	}
+	mk := func(medYears float64) viaarray.TTFModel {
+		return viaarray.TTFModel{
+			Dist:       stat.LogNormal{Mu: math.Log(phys.YearsToSeconds(medYears)), Sigma: 0.35},
+			RefCurrent: refViaAmps,
+			FailK:      16,
+		}
+	}
+	cfg := pdn.TTFConfig{
+		Grid: g,
+		Models: map[cudd.Pattern]viaarray.TTFModel{
+			cudd.Plus:   mk(6),
+			cudd.TShape: mk(7),
+			cudd.LShape: mk(8),
+		},
+		Criterion: pdn.WeakestLink,
+	}
+	opt := mc.Options{Trials: 50, Seed: 9}
+
+	b.Run("unscreened", func(b *testing.B) {
+		sys, err := pdn.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mc.Run(sys, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("screened", func(b *testing.B) {
+		sys, err := pdn.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		popt := opt
+		popt.Engine = mc.EngineBoth
+		popt.Candidates = screen.CandidateMask()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := mc.Run(sys, popt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if misses := res.MaskMisses(screen.ViaMortal); len(misses) != 0 {
+				b.Fatalf("failures outside the mortal set: %v", misses)
+			}
+		}
+		b.ReportMetric(100*screen.MortalViaFraction(), "%mortal")
+	})
 }

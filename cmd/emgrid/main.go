@@ -12,8 +12,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -23,10 +25,12 @@ import (
 	"emvia/internal/cliobs"
 	"emvia/internal/core"
 	"emvia/internal/cudd"
+	"emvia/internal/mc"
 	"emvia/internal/pdn"
 	"emvia/internal/phys"
 	"emvia/internal/profiling"
 	"emvia/internal/spice"
+	"emvia/internal/trace"
 	"emvia/internal/viaarray"
 )
 
@@ -73,7 +77,7 @@ func main() {
 	case "charmodels":
 		err = cmdCharModels(args[1:])
 	case "analyze":
-		err = cmdAnalyze(args[1:])
+		err = cmdAnalyze(args[1:], obs.Engine)
 	case "xsection":
 		err = cmdXSection(args[1:])
 	case "hotspots":
@@ -120,6 +124,8 @@ Global flags (before the subcommand):
   -trace-chrome FILE Chrome trace_event JSON (chrome://tracing, Perfetto)
   -trace-nosamples   omit per-component TTF sample events from traces
   -http ADDR         live monitor: /status, /debug/vars, /debug/pprof
+  -engine ENG        analysis engine for analyze: mc (full Monte Carlo),
+                     steady (linear-time screen only), both (screened MC)
 Every trace/metrics artifact gets a <file>.manifest.json provenance record.
 Run 'emgrid <subcommand> -h' for flags.`)
 }
@@ -398,7 +404,7 @@ func resistanceFactorOf(c core.ArrayCriterion) float64 {
 	return c.ResistanceFactor
 }
 
-func cmdAnalyze(args []string) error {
+func cmdAnalyze(args []string, engineFlag string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	deck := fs.String("deck", "", "SPICE deck path (required; node names n<layer>_<x>_<y>)")
 	models := fs.String("models", "", "precomputed via-array model set JSON (skips FEA + characterization)")
@@ -410,11 +416,16 @@ func cmdAnalyze(args []string) error {
 	trials := fs.Int("trials", 500, "Monte-Carlo trials (both levels)")
 	seed := fs.Int64("seed", 2017, "random seed")
 	fast := fs.Bool("fast", false, "coarse FEA meshes")
+	screenOut := fs.String("screenout", "", "write the steady-state screen classification JSON here (engines steady/both)")
 	fem := femFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cliobs.RecordFlags(fs)
+	engine, err := mc.ParseEngine(engineFlag)
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
 	if *deck == "" {
 		return fmt.Errorf("analyze: -deck is required")
 	}
@@ -452,6 +463,20 @@ func cmdAnalyze(args []string) error {
 	if err := fem(a); err != nil {
 		return fmt.Errorf("analyze: %w", err)
 	}
+	if engine == mc.EngineSteady {
+		// Screening-only backend: one pristine solve plus one linear walk,
+		// no characterization, no Monte Carlo.
+		screen, err := a.ScreenGrid(g)
+		if err != nil {
+			return err
+		}
+		recordScreen(screen)
+		if err := writeScreenJSON(*screenOut, g, screen); err != nil {
+			return err
+		}
+		printScreen(g, screen)
+		return nil
+	}
 	analysis := core.GridAnalysis{
 		Grid:            g,
 		ArrayN:          *arrayN,
@@ -461,6 +486,7 @@ func cmdAnalyze(args []string) error {
 		CharTrials:      *trials,
 		GridTrials:      *trials,
 		Seed:            *seed,
+		Engine:          engine,
 	}
 	var rep *core.GridReport
 	if *models != "" {
@@ -487,12 +513,111 @@ func cmdAnalyze(args []string) error {
 	}
 	fmt.Printf("grid: %d via arrays; via config %dx%d; array criterion %v; system criterion %v\n",
 		len(g.Vias), *arrayN, *arrayN, ac, sc)
+	if rep.Screen != nil {
+		recordScreen(rep.Screen)
+		if err := writeScreenJSON(*screenOut, g, rep.Screen); err != nil {
+			return err
+		}
+		fmt.Printf("  steady screen: %d/%d via arrays mortal (%.1f%%); Monte Carlo pruned to the mortal subset\n",
+			rep.Screen.MortalVias, rep.Screen.Vias, 100*rep.Screen.MortalViaFraction())
+	}
 	for _, p := range []float64{0.003, 0.25, 0.5, 0.75, 0.997} {
 		fmt.Printf("  %6.3g%%ile TTF: %7.2f years\n", p*100, rep.PercentileYears(p))
 	}
 	if inf := len(rep.MC.TTF) - rep.TTF.Len(); inf > 0 {
 		fmt.Printf("  (%d of %d trials never reached the criterion)\n", inf, len(rep.MC.TTF))
 	}
+	return nil
+}
+
+// recordScreen mirrors a grid screen into the run-provenance manifest.
+func recordScreen(s *pdn.GridScreen) {
+	cliobs.RecordScreen(trace.ScreenInfo{
+		Vias:           s.Vias,
+		MortalVias:     s.MortalVias,
+		Segments:       s.Segments,
+		MortalSegments: s.MortalSegments,
+		SigmaCritViaPa: s.SigmaCritVia,
+		SigmaTViaPa:    s.SigmaTVia,
+	})
+}
+
+// printScreen reports an -engine=steady classification: the headline counts
+// and the tightest margins on each side of the mortality frontier.
+func printScreen(g *pdn.Grid, s *pdn.GridScreen) {
+	fmt.Printf("steady screen: %d via arrays: %d mortal (%.1f%%), %d immortal\n",
+		s.Vias, s.MortalVias, 100*s.MortalViaFraction(), s.Vias-s.MortalVias)
+	fmt.Printf("  wire segments: %d mortal of %d; σ_crit %.0f MPa, via pre-stress σ_T %.0f MPa\n",
+		s.MortalSegments, s.Segments, s.SigmaCritVia/1e6, s.SigmaTVia/1e6)
+	idx := make([]int, s.Vias)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(s.ViaMargin[idx[a]]) < math.Abs(s.ViaMargin[idx[b]])
+	})
+	n := 10
+	if n > len(idx) {
+		n = len(idx)
+	}
+	fmt.Printf("  tightest margins (Pa-frontier arrays):\n")
+	fmt.Printf("  %-10s %-14s %10s %12s %8s\n", "array", "pattern", "σ (MPa)", "margin (MPa)", "verdict")
+	for _, k := range idx[:n] {
+		verdict := "immortal"
+		if s.ViaMortal[k] {
+			verdict = "mortal"
+		}
+		v := g.Vias[k]
+		fmt.Printf("  (%3d,%3d)  %-14s %10.1f %12.1f %8s\n",
+			v.IX, v.IY, v.Pattern, s.ViaStress[k]/1e6, s.ViaMargin[k]/1e6, verdict)
+	}
+}
+
+// writeScreenJSON writes the full per-array classification as the
+// -screenout result artifact and registers it with the run manifest.
+func writeScreenJSON(path string, g *pdn.Grid, s *pdn.GridScreen) error {
+	if path == "" {
+		return nil
+	}
+	type arrayJSON struct {
+		IX       int     `json:"ix"`
+		IY       int     `json:"iy"`
+		Pattern  string  `json:"pattern"`
+		StressPa float64 `json:"stress_pa"`
+		MarginPa float64 `json:"margin_pa"`
+		Mortal   bool    `json:"mortal"`
+	}
+	out := struct {
+		Vias           int         `json:"vias"`
+		MortalVias     int         `json:"mortal_vias"`
+		Segments       int         `json:"segments"`
+		MortalSegments int         `json:"mortal_segments"`
+		SigmaCritViaPa float64     `json:"sigma_crit_via_pa"`
+		SigmaTViaPa    float64     `json:"sigma_t_via_pa"`
+		Arrays         []arrayJSON `json:"arrays"`
+	}{
+		Vias:           s.Vias,
+		MortalVias:     s.MortalVias,
+		Segments:       s.Segments,
+		MortalSegments: s.MortalSegments,
+		SigmaCritViaPa: s.SigmaCritVia,
+		SigmaTViaPa:    s.SigmaTVia,
+	}
+	for k, v := range g.Vias {
+		out.Arrays = append(out.Arrays, arrayJSON{
+			IX: v.IX, IY: v.IY, Pattern: v.Pattern.String(),
+			StressPa: s.ViaStress[k], MarginPa: s.ViaMargin[k], Mortal: s.ViaMortal[k],
+		})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	cliobs.RecordArtifact(path)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"emvia/internal/cliobs"
 	"emvia/internal/core"
 	"emvia/internal/cudd"
+	"emvia/internal/mc"
 	"emvia/internal/phys"
 	"emvia/internal/profiling"
 	"emvia/internal/stat"
@@ -88,6 +89,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, format, a...)
 		os.Exit(1)
 	}
+	engine, err := mc.ParseEngine(obs.Engine) // Setup already validated it
+	if err != nil {
+		fatal("emsweep: %v\n", err)
+	}
 
 	mkAnalyzer := func() *core.Analyzer {
 		a := core.NewAnalyzer()
@@ -120,18 +125,57 @@ func main() {
 		}
 		return phys.SecondsToYears(e.Percentile(0.5)), phys.SecondsToYears(e.Percentile(0.003)), nil
 	}
+	// screenEval is the linear-time steady-state screen of the same array:
+	// the tightest per-via stress margin (MPa, ≤0 = mortal) and the mortal
+	// via count. -engine=steady sweeps this margin instead of the
+	// Monte-Carlo TTF; -engine=both reports both.
+	screenEval := func(a *core.Analyzer) (marginMPa float64, mortal int, err error) {
+		s, err := a.ArraySteadyScreen(cudd.Plus, *arrayN, a.Base.WireWidth, 1e10)
+		if err != nil {
+			return 0, 0, err
+		}
+		tightest := math.Inf(1)
+		for _, m := range s.ViaMargin {
+			if m < tightest {
+				tightest = m
+			}
+		}
+		return tightest / 1e6, s.MortalVias, nil
+	}
 
-	baseMed, baseWorst, err := eval(mkAnalyzer())
+	if engine == mc.EngineSteady {
+		steadySweep(mkAnalyzer, screenEval, *arrayN, *delta, fatal)
+		if err := prof.Stop(); err != nil {
+			fatal("emsweep: %v\n", err)
+		}
+		if err := finishObs(); err != nil {
+			fatal("emsweep: %v\n", err)
+		}
+		return
+	}
+
+	aBase := mkAnalyzer()
+	baseMed, baseWorst, err := eval(aBase)
 	if err != nil {
 		fatal("emsweep: baseline: %v\n", err)
 	}
-	fmt.Printf("baseline %dx%d Plus array (R=inf): median %.2f y, worst-case %.2f y\n\n",
+	fmt.Printf("baseline %dx%d Plus array (R=inf): median %.2f y, worst-case %.2f y\n",
 		*arrayN, *arrayN, baseMed, baseWorst)
+	if engine == mc.EngineBoth {
+		margin, mortal, err := screenEval(aBase)
+		if err != nil {
+			fatal("emsweep: baseline screen: %v\n", err)
+		}
+		fmt.Printf("baseline steady screen: %d/%d vias mortal, tightest margin %.1f MPa\n",
+			mortal, *arrayN**arrayN, margin)
+	}
+	fmt.Println()
 
 	type row struct {
-		name           string
-		lowMed, hiMed  float64
-		swingMedianPct float64
+		name               string
+		lowMed, hiMed      float64
+		swingMedianPct     float64
+		loMortal, hiMortal int
 	}
 	// Knobs are independent — every evaluation builds its own analyzer — so
 	// they run concurrently under a worker cap. Results and skip diagnostics
@@ -139,8 +183,9 @@ func main() {
 	// identical to a serial sweep.
 	ks := knobs()
 	type knobResult struct {
-		med  [2]float64
-		skip string
+		med    [2]float64
+		mortal [2]int
+		skip   string
 	}
 	results := make([]knobResult, len(ks))
 	nconc := *conc
@@ -164,6 +209,16 @@ func main() {
 					return
 				}
 				results[i].med[s] = m
+				if engine == mc.EngineBoth {
+					// The FEA cache of a is warm after eval, so the
+					// screen costs one linear solve.
+					_, mortal, err := screenEval(a)
+					if err != nil {
+						results[i].skip = fmt.Sprintf("emsweep: %s ×%.2f screen: %v (skipped)", k.name, f, err)
+						return
+					}
+					results[i].mortal[s] = mortal
+				}
 			}
 		}(i, k)
 	}
@@ -180,13 +235,22 @@ func main() {
 			lowMed:         r.med[0],
 			hiMed:          r.med[1],
 			swingMedianPct: 100 * math.Abs(r.med[1]-r.med[0]) / baseMed,
+			loMortal:       r.mortal[0],
+			hiMortal:       r.mortal[1],
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].swingMedianPct > rows[j].swingMedianPct })
 
-	fmt.Printf("%-26s %12s %12s %10s\n", "parameter (±"+fmt.Sprintf("%.0f%%", *delta*100)+")", "-delta (y)", "+delta (y)", "swing")
-	for _, r := range rows {
-		fmt.Printf("%-26s %12.2f %12.2f %9.1f%%\n", r.name, r.lowMed, r.hiMed, r.swingMedianPct)
+	if engine == mc.EngineBoth {
+		fmt.Printf("%-26s %12s %12s %10s %13s\n", "parameter (±"+fmt.Sprintf("%.0f%%", *delta*100)+")", "-delta (y)", "+delta (y)", "swing", "mortal vias")
+		for _, r := range rows {
+			fmt.Printf("%-26s %12.2f %12.2f %9.1f%% %8d→%-4d\n", r.name, r.lowMed, r.hiMed, r.swingMedianPct, r.loMortal, r.hiMortal)
+		}
+	} else {
+		fmt.Printf("%-26s %12s %12s %10s\n", "parameter (±"+fmt.Sprintf("%.0f%%", *delta*100)+")", "-delta (y)", "+delta (y)", "swing")
+		for _, r := range rows {
+			fmt.Printf("%-26s %12.2f %12.2f %9.1f%%\n", r.name, r.lowMed, r.hiMed, r.swingMedianPct)
+		}
 	}
 	fmt.Println("\nswing = |median(+delta) − median(−delta)| / baseline median")
 	if err := prof.Stop(); err != nil {
@@ -195,4 +259,49 @@ func main() {
 	if err := finishObs(); err != nil {
 		fatal("emsweep: %v\n", err)
 	}
+}
+
+// steadySweep is the -engine=steady tornado: each knob's effect on the
+// tightest steady-state via stress margin of the array. No Monte Carlo runs
+// at all — every evaluation is one FEA pre-stress solve plus one linear
+// network solve, so the whole sweep is seconds, not minutes.
+func steadySweep(mkAnalyzer func() *core.Analyzer, screenEval func(*core.Analyzer) (float64, int, error), arrayN int, delta float64, fatal func(string, ...any)) {
+	baseMargin, baseMortal, err := screenEval(mkAnalyzer())
+	if err != nil {
+		fatal("emsweep: baseline screen: %v\n", err)
+	}
+	fmt.Printf("baseline %dx%d Plus array steady screen: %d/%d vias mortal, tightest margin %.1f MPa\n\n",
+		arrayN, arrayN, baseMortal, arrayN*arrayN, baseMargin)
+	type row struct {
+		name   string
+		lo, hi float64
+		swing  float64
+	}
+	var rows []row
+	for _, k := range knobs() {
+		var m [2]float64
+		skipped := false
+		for s, f := range []float64{1 - delta, 1 + delta} {
+			a := mkAnalyzer()
+			k.apply(a, f)
+			mm, _, err := screenEval(a)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "emsweep: %s ×%.2f: %v (skipped)\n", k.name, f, err)
+				skipped = true
+				break
+			}
+			m[s] = mm
+		}
+		if skipped {
+			continue
+		}
+		rows = append(rows, row{k.name, m[0], m[1], math.Abs(m[1] - m[0])})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].swing > rows[j].swing })
+	fmt.Printf("%-26s %14s %14s %12s\n",
+		fmt.Sprintf("parameter (±%.0f%%)", delta*100), "-delta (MPa)", "+delta (MPa)", "swing (MPa)")
+	for _, r := range rows {
+		fmt.Printf("%-26s %14.1f %14.1f %12.1f\n", r.name, r.lo, r.hi, r.swing)
+	}
+	fmt.Println("\nswing = |margin(+delta) − margin(−delta)| of the tightest steady-state via stress margin")
 }

@@ -81,11 +81,16 @@ func fig10(a *core.Analyzer, opt options) error {
 				CharTrials:      opt.trials,
 				GridTrials:      opt.gridTrials,
 				Seed:            opt.seed + int64(100*n+i),
+				Engine:          opt.engine,
 			})
 			if err != nil {
 				return fmt.Errorf("fig10 %dx%d %s: %w", n, n, comboName(c), err)
 			}
 			name := comboName(c)
+			if rep.Screen != nil {
+				fmt.Printf("fig10 %dx%d %s: steady screen pruned MC to %d/%d mortal via arrays\n",
+					n, n, name, rep.Screen.MortalVias, rep.Screen.Vias)
+			}
 			if err := printCDFStats(fmt.Sprintf("fig10 %dx%d %s", n, n, name), rep.TTF.Values()); err != nil {
 				return err
 			}
@@ -125,6 +130,7 @@ func figTable2(a *core.Analyzer, opt options) error {
 					CharTrials:      opt.trials,
 					GridTrials:      opt.gridTrials,
 					Seed:            opt.seed + int64(10*n),
+					Engine:          opt.engine,
 				})
 				if err != nil {
 					return fmt.Errorf("table2 %s %dx%d %s: %w", spec.Name, n, n, comboName(c), err)

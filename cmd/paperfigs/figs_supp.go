@@ -108,6 +108,7 @@ func figS4(a *core.Analyzer, opt options) error {
 		Grid: g, ArrayN: 4, ArrayCriterion: core.ArrayOpenCircuit(),
 		SystemCriterion: pdn.IRDrop, IRDropFrac: irCriterion,
 		CharTrials: opt.trials, GridTrials: opt.gridTrials, Seed: opt.seed + 9,
+		Engine: opt.engine,
 	}
 	uniform, err := a.AnalyzeGrid(analysis)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"emvia/internal/cliobs"
 	"emvia/internal/core"
 	"emvia/internal/cudd"
+	"emvia/internal/mc"
 	"emvia/internal/phys"
 )
 
@@ -33,6 +34,11 @@ type options struct {
 	seed        int64
 	workers     int
 	stressCache string
+	// engine is the resolved -engine value (mc or both); the grid
+	// experiments pass it through to core.GridAnalysis, so "both" runs the
+	// steady screen first and prunes every grid Monte Carlo to the mortal
+	// subset.
+	engine string
 }
 
 func main() {
@@ -51,6 +57,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
 		os.Exit(1)
+	}
+	opt.engine, err = mc.ParseEngine(obs.Engine) // Setup already validated it
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+		os.Exit(1)
+	}
+	if opt.engine == mc.EngineSteady {
+		fmt.Fprintln(os.Stderr, "paperfigs: -engine=steady produces no TTF distributions, so the paper's figures cannot be generated from it; use -engine=mc or -engine=both here, or `emgrid analyze -engine=steady` for the standalone classification")
+		os.Exit(2)
 	}
 
 	runners := map[string]func(*core.Analyzer, options) error{

@@ -236,3 +236,80 @@ func TestDeterminismMatrixFEA(t *testing.T) {
 		}
 	}
 }
+
+// TestDeterminismMatrixGridMCScreened pins the -engine=both path: the
+// steady-state screen prunes the grid Monte Carlo to the mortal via subset,
+// and the pruned run must be bit-identical between the serial engine and
+// every parallel worker count — with zero mortal-set misses at each. The
+// per-component substream seeding is what makes this hold: pruning changes
+// which candidates sample, never what a surviving candidate draws.
+func TestDeterminismMatrixGridMCScreened(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid Monte Carlo is slow under -short")
+	}
+	spec := pdn.PG1Spec()
+	spec.NX, spec.NY = 6, 6
+	spec.PadPeriod = 3
+	g, err := pdn.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const refViaAmps = 0.065
+	if err := g.Tune(0.05, refViaAmps); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(medYears float64) viaarray.TTFModel {
+		return viaarray.TTFModel{
+			Dist:       stat.LogNormal{Mu: math.Log(phys.YearsToSeconds(medYears)), Sigma: 0.35},
+			RefCurrent: refViaAmps,
+			FailK:      16,
+		}
+	}
+	cfg := pdn.TTFConfig{
+		Grid: g,
+		Models: map[cudd.Pattern]viaarray.TTFModel{
+			cudd.Plus:   mk(6),
+			cudd.TShape: mk(7),
+			cudd.LShape: mk(8),
+		},
+		Criterion:  pdn.IRDrop,
+		IRDropFrac: 0.10,
+	}
+	screen, err := pdn.ScreenGrid(g, pdn.ScreenConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if screen.MortalVias == 0 {
+		t.Fatal("screen classified no via mortal; the pruned engine has nothing to run")
+	}
+	opt := mc.Options{Trials: 12, Seed: 7, Engine: mc.EngineBoth, Candidates: screen.CandidateMask()}
+
+	sys, err := pdn.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := mc.Run(sys, opt)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if misses := ref.MaskMisses(screen.ViaMortal); len(misses) != 0 {
+		t.Fatalf("serial screened run failed components outside the mortal set: %v", misses)
+	}
+
+	for _, w := range mcWorkerCounts {
+		master, err := pdn.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		popt := opt
+		popt.Workers = w
+		res, err := mc.RunParallel(func() (mc.System, error) { return master.Clone(), nil }, popt)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		requireSameResult(t, "grid screened Workers="+strconv.Itoa(w), res, ref)
+		if misses := res.MaskMisses(screen.ViaMortal); len(misses) != 0 {
+			t.Fatalf("Workers=%d: failures outside the mortal set: %v", w, misses)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"emvia/internal/core"
+	"emvia/internal/mc"
 	"emvia/internal/monitor"
 	"emvia/internal/spice"
 	"emvia/internal/telemetry"
@@ -31,6 +32,10 @@ type Config struct {
 	// SolverWorkers bounds the supernodal factorization worker pool;
 	// 0 = one worker per CPU, 1 = serial. Results are identical either way.
 	SolverWorkers int
+	// Engine selects the analysis engine (mc|steady|both); Setup validates
+	// it and records the resolved value in the run manifest. Commands
+	// resolve their own copy with mc.ParseEngine.
+	Engine string
 }
 
 // RegisterFlags declares every observability flag on fs.
@@ -42,6 +47,7 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.HTTPAddr, "http", "", "serve the live monitor (/status, /debug/vars, /debug/pprof) on `addr`")
 	fs.StringVar(&c.Solver, "solver", "auto", "linear-solver backend: auto (dense below a size cutoff, sparse Cholesky above), dense, sparse, or cg")
 	fs.IntVar(&c.SolverWorkers, "solver-workers", 0, "worker goroutines of the parallel supernodal factorization (0 = one per CPU, 1 = serial; results are bit-identical)")
+	fs.StringVar(&c.Engine, "engine", "mc", "analysis engine: mc (full Monte Carlo), steady (linear-time steady-state screen only), or both (the screen prunes the Monte Carlo to the mortal subset)")
 }
 
 // active is the manifest of the current run, readable by RecordFlags until
@@ -67,6 +73,10 @@ func Setup(c Config, command string, fs *flag.FlagSet) (finish func() error, err
 		return nil, fmt.Errorf("-solver-workers: must be ≥ 0, got %d", c.SolverWorkers)
 	}
 	spice.SetSolverWorkers(c.SolverWorkers)
+	engine, err := mc.ParseEngine(c.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("-engine: %w", err)
+	}
 
 	m := trace.NewManifest(command, os.Args[1:])
 	if fs != nil {
@@ -75,6 +85,7 @@ func Setup(c Config, command string, fs *flag.FlagSet) (finish func() error, err
 	m.MaterialHash = core.MaterialHash()
 	m.StressCacheKeyVersion = core.StressCacheKeyVersion()
 	m.Solver = spice.DefaultSolver().String()
+	m.Engine = engine
 	if p := c.Telemetry.MetricsJSON; p != "" && p != "-" {
 		m.Artifacts = append(m.Artifacts, p)
 	}
@@ -144,4 +155,33 @@ func RecordFlags(fs *flag.FlagSet) {
 			m.Solver = mode.String()
 		}
 	}
+	if v := m.Config["engine"]; v != "" {
+		if engine, err := mc.ParseEngine(v); err == nil {
+			m.Engine = engine
+		}
+	}
+}
+
+// RecordArtifact registers a result file produced after Setup (e.g. the
+// -engine=steady classification JSON) with the active run manifest, so a
+// provenance copy is written beside it at finish. No-op when no run is
+// active or the path is stdout.
+func RecordArtifact(path string) {
+	m := active.Load()
+	if m == nil || path == "" || path == "-" {
+		return
+	}
+	m.Artifacts = append(m.Artifacts, path)
+}
+
+// RecordScreen attaches a steady-state screening summary to the active run
+// manifest, so every artifact of a -engine=steady/both run carries the
+// classification the results were pruned against. No-op when no run is
+// active.
+func RecordScreen(info trace.ScreenInfo) {
+	m := active.Load()
+	if m == nil {
+		return
+	}
+	m.Screen = &info
 }

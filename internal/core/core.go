@@ -334,6 +334,11 @@ type GridAnalysis struct {
 	// TTFScale optionally derates each via array's TTF (g.Grid.Vias
 	// order), e.g. from AnalyzeGridThermal's local-temperature factors.
 	TTFScale []float64
+	// Engine selects the analysis engine (mc.EngineMC/EngineBoth; empty =
+	// mc). EngineBoth runs the linear-time steady-state screen first and
+	// prunes the Monte Carlo to its mortal subset; the legacy mc engine is
+	// byte-identical to runs that predate the screen.
+	Engine string
 }
 
 // GridReport is the outcome of a grid analysis.
@@ -345,6 +350,9 @@ type GridReport struct {
 	MC *mc.Result
 	// TTF is the ECDF of the finite grid TTFs (seconds).
 	TTF *stat.ECDF
+	// Screen is the steady-state classification a "both"-engine run pruned
+	// against; nil for the legacy mc engine.
+	Screen *pdn.GridScreen
 }
 
 // WorstCaseYears returns the paper's headline metric: the 0.3-percentile
@@ -407,13 +415,24 @@ func (a *Analyzer) AnalyzeGridWithModels(g GridAnalysis, models map[cudd.Pattern
 	if g.GridTrials == 0 {
 		g.GridTrials = 500
 	}
-	res, err := pdn.AnalyzeTTF(pdn.TTFConfig{
+	engine, err := mc.ParseEngine(g.Engine)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pdn.TTFConfig{
 		Grid:       g.Grid,
 		Models:     models,
 		Criterion:  g.SystemCriterion,
 		IRDropFrac: g.IRDropFrac,
 		TTFScale:   g.TTFScale,
-	}, g.GridTrials, g.Seed+1000)
+	}
+	var res *mc.Result
+	var screen *pdn.GridScreen
+	if engine == mc.EngineBoth {
+		res, screen, err = pdn.AnalyzeTTFScreened(cfg, g.GridTrials, g.Seed+1000, pdn.ScreenConfig{EM: a.EM})
+	} else {
+		res, err = pdn.AnalyzeTTF(cfg, g.GridTrials, g.Seed+1000)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -425,7 +444,35 @@ func (a *Analyzer) AnalyzeGridWithModels(g GridAnalysis, models map[cudd.Pattern
 	if err != nil {
 		return nil, err
 	}
-	return &GridReport{Analysis: g, Models: models, MC: res, TTF: ecdf}, nil
+	return &GridReport{Analysis: g, Models: models, MC: res, TTF: ecdf, Screen: screen}, nil
+}
+
+// ScreenGrid runs the standalone -engine=steady backend: the linear-time
+// steady-state classification of a grid, with no characterization and no
+// Monte Carlo.
+func (a *Analyzer) ScreenGrid(g *pdn.Grid) (*pdn.GridScreen, error) {
+	return pdn.ScreenGrid(g, pdn.ScreenConfig{EM: a.EM})
+}
+
+// ArraySteadyScreen is the -engine=steady analog of CharacterizeViaArray:
+// it builds the via-array configuration for the pattern at the reference
+// conditions (FEA thermal pre-stress included) and runs the linear-time
+// steady-state screen — no Monte Carlo, just the immortal/mortal
+// classification with per-via stress margins.
+func (a *Analyzer) ArraySteadyScreen(pattern cudd.Pattern, arrayN int, width, j float64) (*viaarray.ArrayScreen, error) {
+	sigma, err := a.StressFor(pattern, a.Base.LayerPair, arrayN, width)
+	if err != nil {
+		return nil, err
+	}
+	p := a.Base
+	p.Pattern = pattern
+	p.ArrayN = arrayN
+	p.WireWidth = width
+	cfg, err := viaarray.FromStructure(p, sigma, a.EM, j, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.SteadyScreen(0)
 }
 
 // referenceCurrentDensity is the characterization current density of the

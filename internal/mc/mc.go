@@ -65,6 +65,41 @@ type TrialPreparer interface {
 // defaultBatchTrials is the trial-group size when BatchTrials is 0.
 const defaultBatchTrials = 16
 
+// Engine names an analysis backend selected by the -engine flag. The
+// Monte-Carlo engine only ever runs EngineMC and EngineBoth configurations;
+// EngineSteady is the screening-only backend handled by the callers.
+const (
+	EngineMC     = "mc"
+	EngineSteady = "steady"
+	EngineBoth   = "both"
+)
+
+// ParseEngine validates an -engine flag value, mapping "" to EngineMC.
+func ParseEngine(s string) (string, error) {
+	switch s {
+	case "", EngineMC:
+		return EngineMC, nil
+	case EngineSteady, EngineBoth:
+		return s, nil
+	}
+	return "", fmt.Errorf("mc: unknown engine %q (want mc, steady or both)", s)
+}
+
+// CandidateMasker is optionally implemented by Systems that understand a
+// candidate mask natively: SetCandidates is called once before any trial
+// when Options.Candidates is set. A masking system must switch its TTF
+// sampling to the per-component substream contract — one base draw from the
+// trial generator, then an independent generator seeded by mixing the base
+// with the component index for each candidate — so that shrinking the mask
+// never perturbs the random stream of the components that remain. Systems
+// without the interface still run correctly under a mask (the engine skips
+// non-candidates itself) but must not be compared bit-for-bit across masks.
+type CandidateMasker interface {
+	// SetCandidates installs the mask (len == NumComponents, true =
+	// failure candidate). The slice is shared and must not be mutated.
+	SetCandidates(mask []bool) error
+}
+
 // Options configures a Monte-Carlo run.
 type Options struct {
 	// Trials is the number of Monte-Carlo trials (paper: N_trials = 500).
@@ -100,6 +135,16 @@ type Options struct {
 	// manifest, so results stay attributable to a backend when the default
 	// changes.
 	Solver string
+	// Engine records the analysis backend that configured the run ("mc",
+	// "both"; empty = unspecified). Like Solver it is provenance, not
+	// behavior: the pruning itself rides on Candidates.
+	Engine string
+	// Candidates restricts each trial to a subset of failure candidates
+	// (len == NumComponents, true = candidate): non-candidates are never
+	// sampled, scanned or failed, the screening contract of the steady
+	// engine. Nil — the default — is the legacy unscreened path, preserved
+	// byte for byte. The slice is shared across workers read-only.
+	Candidates []bool
 }
 
 // Validate rejects impossible option values: Trials must be ≥ 1 and Workers
@@ -119,7 +164,50 @@ func (o Options) Validate() error {
 	default:
 		return fmt.Errorf("mc: unknown solver backend %q (want auto, dense, sparse or cg)", o.Solver)
 	}
+	switch o.Engine {
+	case "", EngineMC, EngineBoth:
+	default:
+		return fmt.Errorf("mc: engine %q cannot drive a Monte-Carlo run (want mc or both)", o.Engine)
+	}
+	if o.Candidates != nil {
+		any := false
+		for _, c := range o.Candidates {
+			if c {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return fmt.Errorf("mc: Candidates masks out every component; nothing to simulate")
+		}
+	}
 	return nil
+}
+
+// candidateIdx resolves the candidate mask against a system: it validates
+// the length, installs the mask on CandidateMasker systems, and returns the
+// ascending candidate index list the trial loop scans (nil for the legacy
+// unmasked path).
+func candidateIdx(sys System, opt Options) ([]int, error) {
+	if opt.Candidates == nil {
+		return nil, nil
+	}
+	n := sys.NumComponents()
+	if len(opt.Candidates) != n {
+		return nil, fmt.Errorf("mc: Candidates has %d entries for %d components", len(opt.Candidates), n)
+	}
+	if cm, ok := sys.(CandidateMasker); ok {
+		if err := cm.SetCandidates(opt.Candidates); err != nil {
+			return nil, fmt.Errorf("mc: installing candidate mask: %w", err)
+		}
+	}
+	idx := make([]int, 0, n)
+	for i, c := range opt.Candidates {
+		if c {
+			idx = append(idx, i)
+		}
+	}
+	return idx, nil
 }
 
 // traceLabel returns the run name for structured traces.
@@ -229,6 +317,24 @@ func (r *Result) FailureInvolvement(numComponents int) []int {
 	return counts
 }
 
+// MaskMisses returns every component that failed in some trial despite not
+// being in mask — the screening soundness check of the steady engine: a
+// non-empty return from an unscreened run means the mortal classification
+// missed a component the Monte Carlo observed failing.
+func (r *Result) MaskMisses(mask []bool) []int {
+	var misses []int
+	seen := make(map[int]bool)
+	for _, comps := range r.EventComps {
+		for _, c := range comps {
+			if c >= 0 && c < len(mask) && !mask[c] && !seen[c] {
+				seen[c] = true
+				misses = append(misses, c)
+			}
+		}
+	}
+	return misses
+}
+
 // trialSeed decorrelates per-trial generators.
 func trialSeed(seed int64, trial int) int64 {
 	x := uint64(seed) + uint64(trial)*0x9E3779B97F4A7C15
@@ -258,6 +364,13 @@ func Run(sys System, opt Options) (*Result, error) {
 	run := trace.Default().BeginRun(opt.traceLabel(), opt.Trials)
 	defer run.End()
 	labeler, _ := sys.(ComponentLabeler)
+	idxs, err := candidateIdx(sys, opt)
+	if err != nil {
+		return nil, err
+	}
+	if idxs != nil {
+		met.observeMask(sys.NumComponents(), len(idxs))
+	}
 	var preparer TrialPreparer
 	if opt.BatchTrials >= 0 {
 		preparer, _ = sys.(TrialPreparer)
@@ -275,7 +388,7 @@ func Run(sys System, opt Options) (*Result, error) {
 		}
 		for t := g0; t < g1; t++ {
 			rng.Seed(trialSeed(opt.Seed, t))
-			ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met, run.Trial(t), labeler)
+			ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, idxs, &scratch, &met, run.Trial(t), labeler)
 			if err != nil {
 				return nil, fmt.Errorf("mc: trial %d: %w", t, err)
 			}
@@ -311,6 +424,15 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 	met := newRunMetrics()
 	run := trace.Default().BeginRun(opt.traceLabel(), opt.Trials)
 	defer run.End()
+	if opt.Candidates != nil {
+		nc := 0
+		for _, c := range opt.Candidates {
+			if c {
+				nc++
+			}
+		}
+		met.observeMask(len(opt.Candidates), nc)
+	}
 	t0 := met.runSeconds.Start()
 	// Trial dispatch is a lock-free atomic fetch-add — workers never contend
 	// on a mutex in the hot loop. Errors are confined to a sync.Once (the
@@ -340,6 +462,11 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 			var scratch trialScratch
 			met := newRunMetrics() // per-worker handles; runSeconds tracked by the dispatcher
 			labeler, _ := sys.(ComponentLabeler)
+			idxs, err := candidateIdx(sys, opt)
+			if err != nil {
+				fail(err)
+				return
+			}
 			var preparer TrialPreparer
 			if opt.BatchTrials >= 0 {
 				preparer, _ = sys.(TrialPreparer)
@@ -363,7 +490,7 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 				}
 				for t := g0; t < g1; t++ {
 					rng.Seed(trialSeed(opt.Seed, t))
-					ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, &scratch, &met, run.Trial(t), labeler)
+					ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, idxs, &scratch, &met, run.Trial(t), labeler)
 					if err != nil {
 						fail(fmt.Errorf("mc: trial %d: %w", t, err))
 						return
@@ -404,19 +531,32 @@ func (s *trialScratch) reserve(n int) {
 	s.alive = s.alive[:n]
 }
 
-// runTrial performs one sequential-failure trial. tt is the trial's trace
-// recorder (the zero value when tracing is off) and lab the optional
-// component namer; both are strictly observational.
-func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScratch, met *runMetrics, tt trace.Trial, lab ComponentLabeler) (systemTTF float64, events []float64, comps []int, err error) {
+// runTrial performs one sequential-failure trial. idxs is the ascending
+// candidate index list of a screened run (nil = every component); only
+// listed components are sampled, scanned and failed, which is what turns a
+// mortal-subset mask into wall-clock savings on large systems. tt is the
+// trial's trace recorder (the zero value when tracing is off) and lab the
+// optional component namer; both are strictly observational.
+func runTrial(sys System, rng *rand.Rand, toCompletion bool, idxs []int, scratch *trialScratch, met *runMetrics, tt trace.Trial, lab ComponentLabeler) (systemTTF float64, events []float64, comps []int, err error) {
 	trial0 := met.trialSeconds.Start()
 	if err := sys.BeginTrial(rng); err != nil {
 		return 0, nil, nil, fmt.Errorf("BeginTrial: %w", err)
 	}
 	n := sys.NumComponents()
+	nc := n
+	if idxs != nil {
+		nc = len(idxs)
+	}
 	tt.Begin(n)
 	if tt.Enabled() {
-		for i := 0; i < n; i++ {
-			tt.Sample(i, sys.BaseTTF(i))
+		if idxs == nil {
+			for i := 0; i < n; i++ {
+				tt.Sample(i, sys.BaseTTF(i))
+			}
+		} else {
+			for _, i := range idxs {
+				tt.Sample(i, sys.BaseTTF(i))
+			}
 		}
 	}
 	scratch.reserve(n)
@@ -424,50 +564,96 @@ func runTrial(sys System, rng *rand.Rand, toCompletion bool, scratch *trialScrat
 	for i := range damage {
 		damage[i] = 0
 	}
-	for i := range alive {
-		alive[i] = true
+	if idxs == nil {
+		for i := range alive {
+			alive[i] = true
+		}
+	} else {
+		for i := range alive {
+			alive[i] = false
+		}
+		for _, i := range idxs {
+			alive[i] = true
+		}
 	}
 	now := 0.0
 	systemTTF = math.Inf(1)
 	systemFailed := false
 
-	for remaining := n; remaining > 0; remaining-- {
-		// Find the component with the least remaining life.
+	for remaining := nc; remaining > 0; remaining-- {
+		// Find the component with the least remaining life. The unmasked and
+		// masked scans are spelled out separately to keep the legacy hot loop
+		// exactly as it was and the masked one free of a full-range sweep.
 		minDt := math.Inf(1)
 		minIdx := -1
-		for i := 0; i < n; i++ {
-			if !alive[i] {
-				continue
+		if idxs == nil {
+			for i := 0; i < n; i++ {
+				if !alive[i] {
+					continue
+				}
+				rate := sys.AgingRate(i)
+				if rate < 0 || math.IsNaN(rate) {
+					return 0, nil, nil, fmt.Errorf("component %d: invalid aging rate %g", i, rate)
+				}
+				left := sys.BaseTTF(i) - damage[i]
+				if left < 0 {
+					left = 0
+				}
+				var dt float64
+				switch {
+				case rate == 0:
+					dt = math.Inf(1)
+				default:
+					dt = left / rate
+				}
+				if dt < minDt {
+					minDt = dt
+					minIdx = i
+				}
 			}
-			rate := sys.AgingRate(i)
-			if rate < 0 || math.IsNaN(rate) {
-				return 0, nil, nil, fmt.Errorf("component %d: invalid aging rate %g", i, rate)
-			}
-			left := sys.BaseTTF(i) - damage[i]
-			if left < 0 {
-				left = 0
-			}
-			var dt float64
-			switch {
-			case rate == 0:
-				dt = math.Inf(1)
-			default:
-				dt = left / rate
-			}
-			if dt < minDt {
-				minDt = dt
-				minIdx = i
+		} else {
+			for _, i := range idxs {
+				if !alive[i] {
+					continue
+				}
+				rate := sys.AgingRate(i)
+				if rate < 0 || math.IsNaN(rate) {
+					return 0, nil, nil, fmt.Errorf("component %d: invalid aging rate %g", i, rate)
+				}
+				left := sys.BaseTTF(i) - damage[i]
+				if left < 0 {
+					left = 0
+				}
+				var dt float64
+				switch {
+				case rate == 0:
+					dt = math.Inf(1)
+				default:
+					dt = left / rate
+				}
+				if dt < minDt {
+					minDt = dt
+					minIdx = i
+				}
 			}
 		}
 		if minIdx < 0 || math.IsInf(minDt, 1) {
-			// No component can ever fail; the system survives forever.
+			// No candidate can ever fail; the system survives forever.
 			break
 		}
 		// Advance time and accumulate damage on survivors.
 		now += minDt
-		for i := 0; i < n; i++ {
-			if alive[i] {
-				damage[i] += minDt * sys.AgingRate(i)
+		if idxs == nil {
+			for i := 0; i < n; i++ {
+				if alive[i] {
+					damage[i] += minDt * sys.AgingRate(i)
+				}
+			}
+		} else {
+			for _, i := range idxs {
+				if alive[i] {
+					damage[i] += minDt * sys.AgingRate(i)
+				}
 			}
 		}
 		alive[minIdx] = false

@@ -13,6 +13,8 @@ type runMetrics struct {
 	trialSeconds     *telemetry.Histogram
 	failSeconds      *telemetry.Histogram
 	runSeconds       *telemetry.Histogram
+	candidates       *telemetry.Counter
+	pruned           *telemetry.Counter
 }
 
 func newRunMetrics() runMetrics {
@@ -24,5 +26,15 @@ func newRunMetrics() runMetrics {
 		trialSeconds:     r.Histogram(telemetry.MCTrialSeconds),
 		failSeconds:      r.Histogram(telemetry.MCFailStepSeconds),
 		runSeconds:       r.Histogram(telemetry.MCRunSeconds),
+		candidates:       r.Counter(telemetry.MCCandidateComponents),
+		pruned:           r.Counter(telemetry.MCPrunedComponents),
 	}
+}
+
+// observeMask records a screened run's candidate/pruned split once per run:
+// total components minus candidates is what the steady screen saved the
+// engine from sampling and scanning.
+func (m *runMetrics) observeMask(total, cands int) {
+	m.candidates.Add(int64(cands))
+	m.pruned.Add(int64(total - cands))
 }

@@ -142,3 +142,84 @@ func TestPreparedParallelMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestPreparedMismatchFallsBack forces the replay prediction wrong: the
+// group is prepared from one set of seeds but the trials run from another,
+// so the predicted first failure disagrees with the engine's actual first
+// scheduling decision and Fail must take the legacy re-solve. The run has to
+// come out exactly as correct as an unprepared one — stale preparation may
+// cost the speedup, never the answer.
+func TestPreparedMismatchFallsBack(t *testing.T) {
+	forceSparse(t)
+	g := mustGrid(t, smallSpec(), 0.05)
+	ref := refCurrentOf(t, g)
+	cfg := TTFConfig{Grid: g, Models: testModels(ref), Criterion: IRDrop, IRDropFrac: 0.10}
+	const trials = 16
+
+	reference, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mc.Run(reference, mc.Options{Trials: trials, Seed: 11, BatchTrials: -1, RunToCompletion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stale, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepare from seeds the engine will never use. BatchTrials −1 keeps the
+	// engine from re-preparing, so BeginTrial consumes these stale entries.
+	wrong := make([]int64, trials)
+	for i := range wrong {
+		wrong[i] = int64(9000 + 31*i)
+	}
+	if err := stale.PrepareTrials(wrong); err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]int, 0, trials)
+	valid := 0
+	for _, e := range stale.prep {
+		k := -1
+		if e.valid {
+			k = e.k
+			valid++
+		}
+		preds = append(preds, k)
+	}
+	if valid == 0 {
+		t.Fatal("no stale prediction is valid; the mismatch path is never reachable")
+	}
+	got, err := mc.Run(stale, mc.Options{Trials: trials, Seed: 11, BatchTrials: -1, RunToCompletion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mismatches := 0
+	for i := range want.TTF {
+		if len(got.EventComps[i]) == 0 {
+			t.Fatalf("trial %d: no failures recorded", i)
+		}
+		if preds[i] != got.EventComps[i][0] {
+			mismatches++
+		}
+		a, b := want.TTF[i], got.TTF[i]
+		if math.IsInf(a, 1) && math.IsInf(b, 1) {
+			continue
+		}
+		if d := math.Abs(a-b) / math.Max(math.Abs(a), 1); d > 1e-9 {
+			t.Fatalf("trial %d: stale-prepared TTF %g vs legacy %g (rel %g)", i, b, a, d)
+		}
+		for j := range want.EventComps[i] {
+			if want.EventComps[i][j] != got.EventComps[i][j] {
+				t.Fatalf("trial %d event %d: failed array %d stale-prepared vs %d legacy",
+					i, j, got.EventComps[i][j], want.EventComps[i][j])
+			}
+		}
+	}
+	if mismatches == 0 {
+		t.Fatal("every stale prediction matched the actual first failure; the fallback was never exercised")
+	}
+	t.Logf("stale prep: %d/%d predictions mismatched and fell back to the legacy solve", mismatches, trials)
+}

@@ -130,6 +130,22 @@ type GridSystem struct {
 	prepB    []float64 // batched right-hand sides (the u vectors)
 	yFree    []float64 // pristine free-node solution (gathered from op0 once)
 	xScratch []float64
+
+	// candidates is the steady screen's mortal mask (mc.CandidateMasker);
+	// nil runs the legacy sequential sampling stream. With a mask set,
+	// BeginTrial draws one base seed per trial and samples each candidate
+	// from its own derived substream, so the sampled TTF of a via array
+	// depends only on (trial, array) — never on which other arrays are in
+	// the mask. sub is the reusable substream generator.
+	candidates []bool
+	sub        *rand.Rand
+
+	// circuitDirty records that a trial edited the compiled circuit (opened
+	// a via), so the next BeginTrial must restore the pristine matrix and
+	// factor. Weakest-link trials never edit the circuit — the trial is
+	// over at the first failure, before anything reads the matrix again —
+	// which keeps the expensive sparse-factor restore off that path.
+	circuitDirty bool
 }
 
 // prepTrial is one prepared trial: the predicted first-failing array and the
@@ -162,6 +178,11 @@ func NewSystem(cfg TTFConfig) (*GridSystem, error) {
 		}
 	}
 	s := &GridSystem{cfg: cfg, circuit: circuit, op0: op}
+	// Put the solver into its canonical post-reset state (slots compiled,
+	// pristine factor snapshot taken) once up front, so trials on a fresh
+	// system and on a Clone start from bit-identical solver state whether
+	// or not BeginTrial's dirty gate runs another restore in between.
+	circuit.ResetResistors()
 	s.opA = circuit.NewOP()
 	s.opB = circuit.NewOP()
 	s.i0 = make([]float64, len(cfg.Grid.Vias))
@@ -181,10 +202,14 @@ func NewSystem(cfg TTFConfig) (*GridSystem, error) {
 func (s *GridSystem) Clone() *GridSystem {
 	circuit := s.circuit.Clone()
 	d := &GridSystem{
-		cfg:     s.cfg,
-		circuit: circuit,
-		i0:      s.i0, // pristine currents are write-once
-		op0:     s.op0.CloneFor(circuit),
+		cfg:        s.cfg,
+		circuit:    circuit,
+		i0:         s.i0, // pristine currents are write-once
+		op0:        s.op0.CloneFor(circuit),
+		candidates: s.candidates, // write-once after SetCandidates
+		// The source may have been cloned mid-run with vias open; make the
+		// clone's first BeginTrial restore the pristine state.
+		circuitDirty: true,
 	}
 	d.opA = circuit.NewOP()
 	d.opB = circuit.NewOP()
@@ -195,6 +220,69 @@ func (s *GridSystem) Clone() *GridSystem {
 func (s *GridSystem) NumComponents() int { return len(s.cfg.Grid.Vias) }
 
 var _ mc.TrialPreparer = (*GridSystem)(nil)
+var _ mc.CandidateMasker = (*GridSystem)(nil)
+
+// subSeed derives the sampling substream seed of array k in a masked trial
+// from the trial's base draw (splitmix-style mixing, as mc derives trial
+// seeds from the run seed).
+func subSeed(base int64, k int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(k+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// splitmixSource is a rand.Source64 with O(1) reseeding (splitmix64). The
+// masked sampling path reseeds once per candidate per trial; the stock
+// math/rand source pays a 607-word state rebuild per Seed, which would cost
+// more than the sampling it feeds. Reseeding this source is one store.
+type splitmixSource struct{ s uint64 }
+
+func (p *splitmixSource) Seed(seed int64) { p.s = uint64(seed) }
+
+func (p *splitmixSource) Uint64() uint64 {
+	p.s += 0x9e3779b97f4a7c15
+	z := p.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (p *splitmixSource) Int63() int64 { return int64(p.Uint64() >> 1) }
+
+// SetCandidates implements mc.CandidateMasker: it restricts the trials to
+// the masked via arrays and switches TTF sampling to per-array substreams,
+// so shrinking the mask never perturbs the sampled lifetimes of the arrays
+// that remain. A nil mask restores the legacy sequential stream.
+func (s *GridSystem) SetCandidates(mask []bool) error {
+	if mask == nil {
+		s.candidates = nil
+		return nil
+	}
+	if len(mask) != s.NumComponents() {
+		return fmt.Errorf("pdn: candidate mask has %d entries, want %d", len(mask), s.NumComponents())
+	}
+	any := false
+	for _, m := range mask {
+		if m {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return fmt.Errorf("pdn: candidate mask excludes every via array")
+	}
+	s.candidates = append([]bool(nil), mask...)
+	return nil
+}
+
+// ensureSub returns the reusable substream generator.
+func (s *GridSystem) ensureSub() *rand.Rand {
+	if s.sub == nil {
+		s.sub = rand.New(new(splitmixSource))
+	}
+	return s.sub
+}
 
 // BeginTrial restores the pristine grid and samples array TTFs at their
 // nominal currents.
@@ -208,24 +296,55 @@ func (s *GridSystem) BeginTrial(rng *rand.Rand) error {
 	// Restore the vias opened by the previous trial and put the solver into
 	// its canonical pristine state (matrix values, factor, preconditioner),
 	// so trial outcomes do not depend on which trials ran before on this
-	// system instance.
-	s.circuit.ResetResistors()
+	// system instance. A clean circuit (weakest-link trials, or a fresh
+	// system) skips the restore — on large sparse grids it is the single
+	// most expensive step of a sampling-bound trial.
+	if s.circuitDirty {
+		s.circuit.ResetResistors()
+		s.circuitDirty = false
+	}
 	for k := range s.alive {
 		s.alive[k] = true
 	}
 	s.failedCount = 0
 	copy(s.iNow, s.i0)
 	s.opNow = s.op0
-	for k, v := range s.cfg.Grid.Vias {
-		var model viaarray.TTFModel
-		if s.cfg.PerViaModels != nil {
-			model = s.cfg.PerViaModels[k]
-		} else {
-			model = s.cfg.Models[v.Pattern]
+	if s.candidates == nil {
+		for k, v := range s.cfg.Grid.Vias {
+			var model viaarray.TTFModel
+			if s.cfg.PerViaModels != nil {
+				model = s.cfg.PerViaModels[k]
+			} else {
+				model = s.cfg.Models[v.Pattern]
+			}
+			s.baseTTF[k] = model.Sample(rng, s.i0[k])
+			if s.cfg.TTFScale != nil {
+				s.baseTTF[k] *= s.cfg.TTFScale[k]
+			}
 		}
-		s.baseTTF[k] = model.Sample(rng, s.i0[k])
-		if s.cfg.TTFScale != nil {
-			s.baseTTF[k] *= s.cfg.TTFScale[k]
+	} else {
+		// Masked sampling: one base draw from the trial stream, then an
+		// independent substream per candidate. Exactly one draw is taken
+		// from rng whatever the mask, and substream seeds depend only on
+		// (base, k), which is what makes screened runs mask-monotone.
+		base := rng.Int63()
+		sub := s.ensureSub()
+		for k, v := range s.cfg.Grid.Vias {
+			if !s.candidates[k] {
+				s.baseTTF[k] = math.Inf(1)
+				continue
+			}
+			var model viaarray.TTFModel
+			if s.cfg.PerViaModels != nil {
+				model = s.cfg.PerViaModels[k]
+			} else {
+				model = s.cfg.Models[v.Pattern]
+			}
+			sub.Seed(subSeed(base, k))
+			s.baseTTF[k] = model.Sample(sub, s.i0[k])
+			if s.cfg.TTFScale != nil {
+				s.baseTTF[k] *= s.cfg.TTFScale[k]
+			}
 		}
 	}
 	// Consume this trial's prepared entry, if a group was prepared. Entries
@@ -262,6 +381,7 @@ func (s *GridSystem) PrepareTrials(seeds []int64) error {
 	}
 	// The corrections expand about the pristine system; make it current.
 	s.circuit.ResetResistors()
+	s.circuitDirty = false
 	n := s.circuit.NumFree()
 	if s.yFree == nil {
 		s.yFree = make([]float64, n)
@@ -276,18 +396,34 @@ func (s *GridSystem) PrepareTrials(seeds []int64) error {
 	rng := rand.New(rand.NewSource(0))
 	for _, seed := range seeds {
 		rng.Seed(seed)
-		// Mirror BeginTrial's sampling stream exactly: same draw order, same
-		// scaling, so the predicted argmin is the one the engine will pick.
+		// Mirror BeginTrial's sampling stream exactly — the legacy sequential
+		// draws, or the masked base-draw-plus-substreams — same draw order,
+		// same scaling, so the predicted argmin is the one the engine will
+		// pick.
+		var base int64
+		var sub *rand.Rand
+		if s.candidates != nil {
+			base = rng.Int63()
+			sub = s.ensureSub()
+		}
 		minTTF := math.Inf(1)
 		k := -1
 		for i, v := range s.cfg.Grid.Vias {
+			if s.candidates != nil && !s.candidates[i] {
+				continue
+			}
 			var model viaarray.TTFModel
 			if s.cfg.PerViaModels != nil {
 				model = s.cfg.PerViaModels[i]
 			} else {
 				model = s.cfg.Models[v.Pattern]
 			}
-			ttf := model.Sample(rng, s.i0[i])
+			src := rng
+			if s.candidates != nil {
+				sub.Seed(subSeed(base, i))
+				src = sub
+			}
+			ttf := model.Sample(src, s.i0[i])
 			if s.cfg.TTFScale != nil {
 				ttf *= s.cfg.TTFScale[i]
 			}
@@ -424,12 +560,16 @@ func (s *GridSystem) Fail(k int) error {
 	}
 	s.alive[k] = false
 	s.failedCount++
+	if s.cfg.Criterion == WeakestLink {
+		// The trial is already over; nothing reads the matrix before the
+		// next BeginTrial, so leave the circuit pristine instead of paying
+		// the open-and-restore round trip on the factored system.
+		return nil
+	}
 	if err := s.circuit.DisableResistor(s.cfg.Grid.Vias[k].ResistorIndex); err != nil {
 		return err
 	}
-	if s.cfg.Criterion == WeakestLink {
-		return nil
-	}
+	s.circuitDirty = true
 	dst := s.opA
 	if s.opNow == s.opA {
 		dst = s.opB
@@ -444,6 +584,9 @@ func (s *GridSystem) Fail(k int) error {
 	s.opNow = dst
 	op := dst
 	for i, v := range s.cfg.Grid.Vias {
+		if s.candidates != nil && !s.candidates[i] {
+			continue // never scheduled: its aging rate is never read
+		}
 		if s.alive[i] {
 			s.iNow[i] = math.Abs(op.ResistorCurrent(v.ResistorIndex))
 		} else {
@@ -506,4 +649,45 @@ func AnalyzeTTF(cfg TTFConfig, trials int, seed int64) (*mc.Result, error) {
 		TraceLabel: "grid:" + cfg.Criterion.String(),
 		Solver:     master.circuit.SolverBackend(),
 	})
+}
+
+// AnalyzeTTFScreened is the -engine=both pipeline: it runs the linear-time
+// steady-state screen against the pristine operating point, feeds the mortal
+// set into the grid Monte Carlo as the candidate mask, and asserts at run
+// end that every observed failure was classified mortal — a violated
+// assertion means the screen's conservatism contract broke and the pruned
+// statistics cannot be trusted, so it surfaces as an error alongside the
+// results rather than silently.
+func AnalyzeTTFScreened(cfg TTFConfig, trials int, seed int64, sc ScreenConfig) (*mc.Result, *GridScreen, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	master, err := NewSystem(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	screen, err := master.SteadyScreen(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if screen.MortalVias == 0 {
+		return nil, screen, fmt.Errorf("pdn: steady screen classified every via array immortal; nothing for the Monte Carlo to simulate (criterion %s)", cfg.Criterion)
+	}
+	res, err := mc.RunParallel(func() (mc.System, error) {
+		return master.Clone(), nil
+	}, mc.Options{
+		Trials:     trials,
+		Seed:       seed,
+		Engine:     mc.EngineBoth,
+		Candidates: screen.CandidateMask(),
+		TraceLabel: "grid:" + cfg.Criterion.String(),
+		Solver:     master.circuit.SolverBackend(),
+	})
+	if err != nil {
+		return nil, screen, err
+	}
+	if miss := res.MaskMisses(screen.ViaMortal); len(miss) > 0 {
+		return res, screen, fmt.Errorf("pdn: screened run observed %d failure(s) outside the steady mortal set (first: via array %d)", len(miss), miss[0])
+	}
+	return res, screen, nil
 }

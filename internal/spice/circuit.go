@@ -1021,6 +1021,15 @@ func (c *Circuit) ResistorConductance(i int) float64 {
 	return c.res[i].cond
 }
 
+// ResistorNodes returns the node indices of resistor i's terminals, −1 for
+// a ground terminal. Unlike ResistorTerms these are full node indices (pads
+// included), which is what graph-level consumers like the steady-state
+// screen need to map branches onto solved node voltages.
+func (c *Circuit) ResistorNodes(i int) (a, b int) {
+	r := c.res[i]
+	return r.a, r.b
+}
+
 // SolveFreeBatch solves the compiled free-node system for nrhs stacked
 // right-hand sides (vector v occupies b[v·n:(v+1)·n], likewise x) against the
 // current cached sparse factor, bit-identical to nrhs separate solves. It is
@@ -1121,6 +1130,33 @@ func (op *OP) ResistorCurrent(i int) float64 {
 		vb = op.volts[r.b]
 	}
 	return (va - vb) * r.cond
+}
+
+// ResistorCurrentsInto extracts the current through every resistor of the
+// solved operating point in one pass (dst length NumResistors, same sign
+// convention as ResistorCurrent: positive from terminal A to B, zero while
+// disabled). This is the branch-current extraction the steady-state screen
+// runs over the pristine solve — one bulk sweep instead of NumResistors
+// bound-checked calls.
+func (op *OP) ResistorCurrentsInto(dst []float64) error {
+	if len(dst) != len(op.c.res) {
+		return fmt.Errorf("spice: ResistorCurrentsInto got %d slots for %d resistors", len(dst), len(op.c.res))
+	}
+	for i, r := range op.c.res {
+		if r.disabled {
+			dst[i] = 0
+			continue
+		}
+		var va, vb float64
+		if r.a >= 0 {
+			va = op.volts[r.a]
+		}
+		if r.b >= 0 {
+			vb = op.volts[r.b]
+		}
+		dst[i] = (va - vb) * r.cond
+	}
+	return nil
 }
 
 // MinVoltage returns the lowest node voltage and its node index, the

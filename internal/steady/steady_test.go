@@ -1,0 +1,164 @@
+package steady
+
+import (
+	"math"
+	"testing"
+
+	"emvia/internal/emdist"
+	"emvia/internal/korhonen"
+)
+
+// lineGraph builds a uniform m-segment line of total length L carrying
+// current density j: node potentials drop linearly by ρ·j·L end to end.
+func lineGraph(em emdist.Params, j, L float64, m int) *Graph {
+	g := &Graph{NumNodes: m + 1, V: make([]float64, m+1)}
+	drop := em.Rho * j * L
+	for i := 0; i <= m; i++ {
+		// Conventional current flows 0 → m, so V decreases with i.
+		g.V[i] = 1.8 - drop*float64(i)/float64(m)
+	}
+	for i := 0; i < m; i++ {
+		g.Branches = append(g.Branches, Branch{A: i, B: i + 1})
+	}
+	return g
+}
+
+// TestLineMatchesKorhonen pins the whole generalization to its one-line
+// special case: the peak steady tension of a uniform blocked line must be
+// the Blech saturation stress G·L/2 of the Korhonen model.
+func TestLineMatchesKorhonen(t *testing.T) {
+	em := emdist.Default()
+	j, L := 2e9, 50e-6
+	g := lineGraph(em, j, L, 10)
+	rep, err := Screen(g, Config{EM: em, SigmaCrit: 500e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := korhonen.Line{Length: L, EM: em, J: j}.SteadyStateCathodeStress()
+	if d := math.Abs(rep.MaxStress-want) / want; d > 1e-12 {
+		t.Fatalf("line peak stress %g, Korhonen G·L/2 = %g (rel %g)", rep.MaxStress, want, d)
+	}
+	if rep.Trees != 1 {
+		t.Fatalf("uniform line split into %d trees", rep.Trees)
+	}
+}
+
+// TestBlechAgreement sweeps j·L across the Blech product: the screen's
+// mortal/immortal verdict must agree with korhonen.Immortal exactly.
+func TestBlechAgreement(t *testing.T) {
+	em := emdist.Default()
+	const sigmaCrit = 300e6
+	bp := korhonen.BlechProduct(em, sigmaCrit)
+	for _, frac := range []float64{0.25, 0.5, 0.9, 0.999, 1.001, 1.5, 4} {
+		j := 1e10
+		L := frac * bp / j
+		g := lineGraph(em, j, L, 7)
+		rep, err := Screen(g, Config{EM: em, SigmaCrit: sigmaCrit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mortal := rep.MortalBranches > 0
+		wantMortal := !korhonen.Immortal(em, sigmaCrit, j, L)
+		if mortal != wantMortal {
+			t.Fatalf("j·L = %.3f·Blech: screen mortal=%v, korhonen mortal=%v", frac, mortal, wantMortal)
+		}
+	}
+}
+
+// TestBlockedNodeSplitsTrees checks that a pad in the middle of a line acts
+// as a flux barrier: two half-length trees, each saturating at half the
+// full-line stress.
+func TestBlockedNodeSplitsTrees(t *testing.T) {
+	em := emdist.Default()
+	j, L := 2e9, 50e-6
+	m := 10
+	g := lineGraph(em, j, L, m)
+	g.Blocked = make([]bool, g.NumNodes)
+	g.Blocked[m/2] = true
+	rep, err := Screen(g, Config{EM: em, SigmaCrit: 500e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trees != 2 {
+		t.Fatalf("blocked midpoint produced %d trees, want 2", rep.Trees)
+	}
+	want := korhonen.Line{Length: L / 2, EM: em, J: j}.SteadyStateCathodeStress()
+	if d := math.Abs(rep.MaxStress-want) / want; d > 1e-12 {
+		t.Fatalf("half-tree peak stress %g, want %g", rep.MaxStress, want)
+	}
+	if rep.TreeID[m/2] != -1 {
+		t.Fatalf("blocked node assigned to tree %d", rep.TreeID[m/2])
+	}
+}
+
+// TestAtomConservation checks the defining property of the steady solution:
+// the volume-weighted stress over each tree sums to zero (no net atom
+// creation), accumulated branch-endpoint-wise exactly as Screen averages.
+func TestAtomConservation(t *testing.T) {
+	em := emdist.Default()
+	// A T-shaped tree with unequal volumes and a nonuniform potential.
+	g := &Graph{
+		NumNodes: 5,
+		V:        []float64{1.80, 1.77, 1.745, 1.76, 1.79},
+		Branches: []Branch{
+			{A: 0, B: 1, Volume: 2},
+			{A: 1, B: 2, Volume: 1},
+			{A: 1, B: 3, Volume: 0.5},
+			{A: 3, B: 4, Volume: 3},
+		},
+	}
+	rep, err := Screen(g, Config{EM: em, SigmaCrit: 500e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trees != 1 {
+		t.Fatalf("T-tree split into %d trees", rep.Trees)
+	}
+	sum, wsum := 0.0, 0.0
+	for _, b := range g.Branches {
+		sum += b.Volume * (rep.Stress[b.A] + rep.Stress[b.B]) / 2
+		wsum += b.Volume
+	}
+	if scale := math.Max(rep.MaxStress, 1); math.Abs(sum/wsum)/scale > 1e-12 {
+		t.Fatalf("volume-weighted tree stress %g does not vanish (max %g)", sum/wsum, rep.MaxStress)
+	}
+}
+
+// TestZeroCurrentImmortal: with a flat potential no branch can build stress.
+func TestZeroCurrentImmortal(t *testing.T) {
+	em := emdist.Default()
+	g := &Graph{
+		NumNodes: 3,
+		V:        []float64{1.8, 1.8, 1.8},
+		Branches: []Branch{{A: 0, B: 1}, {A: 1, B: 2}},
+	}
+	rep, err := Screen(g, Config{EM: em, SigmaCrit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MortalBranches != 0 || rep.MaxStress != 0 {
+		t.Fatalf("flat potential classified mortal: %d branches, max %g", rep.MortalBranches, rep.MaxStress)
+	}
+}
+
+// TestInputValidation covers the error paths.
+func TestInputValidation(t *testing.T) {
+	em := emdist.Default()
+	cases := []struct {
+		name string
+		g    *Graph
+		cfg  Config
+	}{
+		{"nil graph", nil, Config{EM: em, SigmaCrit: 1}},
+		{"bad potentials", &Graph{NumNodes: 2, V: []float64{1}}, Config{EM: em, SigmaCrit: 1}},
+		{"bad blocked", &Graph{NumNodes: 2, V: []float64{1, 1}, Blocked: []bool{true}}, Config{EM: em, SigmaCrit: 1}},
+		{"bad branch", &Graph{NumNodes: 2, V: []float64{1, 1}, Branches: []Branch{{A: 0, B: 5}}}, Config{EM: em, SigmaCrit: 1}},
+		{"bad crit", &Graph{NumNodes: 2, V: []float64{1, 1}}, Config{EM: em, SigmaCrit: 0}},
+		{"bad em", &Graph{NumNodes: 2, V: []float64{1, 1}}, Config{SigmaCrit: 1}},
+	}
+	for _, c := range cases {
+		if _, err := Screen(c.g, c.cfg); err == nil {
+			t.Fatalf("%s: Screen accepted invalid input", c.name)
+		}
+	}
+}

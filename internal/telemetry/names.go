@@ -38,6 +38,17 @@ const (
 	MCTrialSeconds     = "mc.trial_seconds"
 	MCFailStepSeconds  = "mc.fail_step_seconds"
 	MCRunSeconds       = "mc.run_seconds"
+	// Candidate-mask split of a screened (-engine=both) run: candidates are
+	// the mortal components the trials simulate, pruned the immortal rest
+	// the steady screen removed from sampling and scanning.
+	MCCandidateComponents = "mc.screen.candidate_components"
+	MCPrunedComponents    = "mc.screen.pruned_components"
+
+	// internal/pdn + internal/steady — the steady-state screening engine.
+	SteadyScreens       = "steady.screens"
+	SteadyScreenSeconds = "steady.screen_seconds"
+	SteadyMortalVias    = "steady.mortal_vias"
+	SteadyImmortalVias  = "steady.immortal_vias"
 
 	// internal/fem — the FEA pipeline.
 	FEMSolves          = "fem.solves"

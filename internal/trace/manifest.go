@@ -36,6 +36,13 @@ type Manifest struct {
 	// dense/sparse/cg) — results can shift at the iterative-tolerance level
 	// when the backend changes, so it is part of provenance.
 	Solver string `json:"solver,omitempty"`
+	// Engine records the analysis engine (mc, steady, both): a screened run
+	// ("both") prunes the Monte Carlo to the steady mortal subset, so the
+	// engine choice is part of result provenance.
+	Engine string `json:"engine,omitempty"`
+	// Screen summarizes the steady-state screening pre-pass of a steady or
+	// both run: what was classified mortal and against which thresholds.
+	Screen *ScreenInfo `json:"screen,omitempty"`
 	// MaterialHash fingerprints the material table + EM constants
 	// (core.MaterialHash); StressCacheKeyVersion is the persistent stress
 	// cache's key schema version.
@@ -52,6 +59,16 @@ type Manifest struct {
 	// trace exports, the metrics JSON); a copy of the manifest is written
 	// alongside each.
 	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// ScreenInfo is the manifest record of one steady-state screening pass.
+type ScreenInfo struct {
+	Vias           int     `json:"vias"`
+	MortalVias     int     `json:"mortal_vias"`
+	Segments       int     `json:"segments"`
+	MortalSegments int     `json:"mortal_segments"`
+	SigmaCritViaPa float64 `json:"sigma_crit_via_pa"`
+	SigmaTViaPa    float64 `json:"sigma_t_via_pa"`
 }
 
 // NewManifest starts a manifest for the given invocation, filling the

@@ -1,0 +1,91 @@
+package viaarray
+
+import (
+	"math"
+	"testing"
+)
+
+func TestArraySteadyScreenShape(t *testing.T) {
+	cfg := testConfig(4, 8)
+	s, err := cfg.SteadyScreen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := cfg.N * cfg.N
+	if len(s.ViaStress) != n2 || len(s.ViaMargin) != n2 || len(s.ViaMortal) != n2 {
+		t.Fatal("screen arrays not n² long")
+	}
+	if s.Wire == nil || s.Wire.Trees != 2 {
+		t.Fatalf("chains should form 2 trees, got %+v", s.Wire)
+	}
+	mortal := 0
+	for k := 0; k < n2; k++ {
+		if math.IsNaN(s.ViaStress[k]) || math.IsInf(s.ViaStress[k], 0) {
+			t.Fatalf("via %d stress %g", k, s.ViaStress[k])
+		}
+		if s.ViaMortal[k] != (s.ViaMargin[k] <= 0) {
+			t.Fatalf("via %d verdict inconsistent with margin %g", k, s.ViaMargin[k])
+		}
+		if s.ViaMortal[k] {
+			mortal++
+		}
+	}
+	if mortal != s.MortalVias {
+		t.Fatalf("MortalVias %d, counted %d", s.MortalVias, mortal)
+	}
+	if f := s.MortalFraction(); f < 0 || f > 1 {
+		t.Fatalf("mortal fraction %g", f)
+	}
+}
+
+func TestArraySteadyScreenCrowding(t *testing.T) {
+	// Corner feed crowds current into the near-corner vias; their steady
+	// stress must top the far corner's.
+	cfg := testConfig(4, 8)
+	cfg.RSegBottom, cfg.RSegTop = 0.2, 0.2 // pronounced crowding
+	s, err := cfg.SteadyScreen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.N
+	near := s.ViaStress[0]            // (col 0, row 0): feed side
+	far := s.ViaStress[n*n-1]         // (col n−1, row n−1): extraction side
+	mid := s.ViaStress[(n/2)*n+(n/2)] // interior
+	if near <= mid {
+		t.Errorf("feed-corner stress %g not above interior %g", near, mid)
+	}
+	t.Logf("steady via stress: near %.1f MPa, mid %.1f MPa, far %.1f MPa (σ_crit %.1f MPa)",
+		near/1e6, mid/1e6, far/1e6, s.SigmaCrit/1e6)
+}
+
+func TestArraySteadyScreenThresholds(t *testing.T) {
+	// Weak drive and modest pre-stress: everything immortal.
+	cfg := testConfig(3, 9)
+	cfg.CurrentDensity = 1e6
+	s, err := cfg.SteadyScreen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MortalVias != 0 {
+		t.Errorf("weakly driven array has %d mortal vias", s.MortalVias)
+	}
+	// Pre-stress above any plausible critical stress: everything mortal.
+	hot := testConfig(3, 9)
+	hot.SigmaT = uniformSigma(3, 500e6)
+	s, err = hot.SteadyScreen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MortalVias != 9 {
+		t.Errorf("over-stressed array has %d mortal vias, want 9", s.MortalVias)
+	}
+	// Quantile validation.
+	if _, err := cfg.SteadyScreen(1.5); err == nil {
+		t.Error("accepted quantile ≥ 1")
+	}
+	bad := testConfig(2, 4)
+	bad.N = 0
+	if _, err := bad.SteadyScreen(0); err == nil {
+		t.Error("accepted invalid config")
+	}
+}

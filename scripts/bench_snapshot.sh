@@ -19,7 +19,7 @@ trap 'rm -f "$tmp"' EXIT
 
 grid_benches='BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkSparseCholeskyFactor'
 grid_small='BenchmarkGridSolve/^nx(10|20|40|80)$'
-grid_large='BenchmarkGridSolve/^nx(200|400)$'
+grid_large='BenchmarkGridSolve/^nx(200|400)$|BenchmarkGridMCScreened'
 fea_benches='BenchmarkFig1StressProfile|BenchmarkFig6Patterns|BenchmarkFig7ArraySize|BenchmarkFEAWorkers|BenchmarkStressCacheWarm'
 
 go test -run '^$' -bench "$grid_benches" \
@@ -36,6 +36,8 @@ go test -run '^$' -bench "$fea_benches" \
     printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
     printf '  "cpu": "%s",\n' "$(awk -F: '/^cpu:/ {sub(/^[ \t]+/, "", $2); print $2; exit}' "$tmp")"
+    printf '  "num_cpu": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+    printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
     printf '  "protocol": "go test -run ^$ -bench <group> -benchmem -count=1 .; grid group (%s) and small GridSolve tiers (%s) at -benchtime=100x, large GridSolve tiers (%s) and FEA group (%s) at -benchtime=10x",\n' "$grid_benches" "$grid_small" "$grid_large" "$fea_benches"
     printf '  "benchmarks": {\n'
     awk '/^Benchmark/ {
