@@ -16,7 +16,7 @@ check:
 	$(GO) test -race ./internal/mc ./internal/pdn ./internal/par ./internal/fem \
 	    ./internal/solver ./internal/sparse ./internal/core ./internal/spice \
 	    ./internal/telemetry ./internal/trace ./internal/monitor ./internal/cliobs \
-	    ./internal/steady
+	    ./internal/steady ./internal/serve
 
 # lint runs staticcheck if it is on PATH (CI installs a pinned version;
 # locally it is optional) on top of go vet.

@@ -1,0 +1,120 @@
+// Command emserve runs the EM-analysis job service: an HTTP/JSON API that
+// accepts power-grid analysis jobs (inline SPICE decks or synthetic-grid
+// specs plus engine/Monte-Carlo options), executes them through the
+// pdn/mc engines behind a bounded queue, and serves content-addressed
+// result manifests.
+//
+//	emserve -addr localhost:8415 -queue 8 -job-workers 4 -resultdir results/
+//
+// Endpoints:
+//
+//	POST /v1/jobs               submit a job spec (202 queued, 200 dedup'd,
+//	                            429 queue full, 503 draining)
+//	GET  /v1/jobs/{id}          job status with live trial progress
+//	GET  /v1/jobs/{id}/events   Server-Sent-Events cascade stream
+//	GET  /v1/jobs/{id}/result   canonical result manifest (504 after a
+//	                            job deadline, with partial progress in
+//	                            the status endpoint)
+//	/status, /debug/vars,       the monitor endpoints, on the same
+//	/debug/pprof                listener
+//
+// SIGINT/SIGTERM drains gracefully: new submissions are rejected with 503
+// while admitted jobs run to completion (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"emvia/internal/monitor"
+	"emvia/internal/serve"
+	"emvia/internal/spice"
+	"emvia/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "emserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "localhost:8415", "listen address (use :0 for an ephemeral port)")
+	queueCap := flag.Int("queue", 8, "admission queue capacity (further submissions get 429)")
+	jobWorkers := flag.Int("job-workers", 1, "Monte-Carlo worker budget per job (wall-clock only; results are worker-count invariant)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job execution deadline (specs may set a shorter timeout_seconds)")
+	maxAttempts := flag.Int("max-attempts", 3, "execution attempts per job for transient failures")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "delay before the first retry, doubling per attempt")
+	resultDir := flag.String("resultdir", "", "persist result manifests here (content-addressed; empty = memory only)")
+	ringSize := flag.Int("ring", 1024, "trace ring capacity (live progress and SSE window)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "bound on graceful drain at shutdown")
+	solverFlag := flag.String("solver", "", "linear solver backend: auto, cg, direct, sparse (empty = auto)")
+	flag.Parse()
+
+	if *solverFlag != "" {
+		mode, err := spice.ParseSolverMode(*solverFlag)
+		if err != nil {
+			return err
+		}
+		spice.SetDefaultSolver(mode)
+	}
+
+	// Install the trace ring before NewServer so the server adopts it; the
+	// same ring feeds job progress, SSE streams and the monitor /status.
+	ring := trace.NewRing(*ringSize)
+	trace.SetDefault(trace.New(trace.Options{Ring: ring, DisableSamples: true}))
+
+	srv := serve.NewServer(serve.Config{
+		QueueCap:       *queueCap,
+		JobWorkers:     *jobWorkers,
+		DefaultTimeout: *jobTimeout,
+		MaxAttempts:    *maxAttempts,
+		RetryBackoff:   *retryBackoff,
+		ResultDir:      *resultDir,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+	monitor.Register(mux, monitor.Options{Ring: srv.Ring()})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Printf("emserve: listening on http://%s", ln.Addr())
+	go httpSrv.Serve(ln) //nolint:errcheck // Serve always returns on Shutdown/Close
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	// Drain first — admission flips to 503 immediately, admitted jobs run to
+	// completion — then shut the listener down so in-flight HTTP responses
+	// (result fetches, SSE streams) get their bounded grace period too.
+	log.Printf("emserve: draining (up to %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		httpSrv.Close() //nolint:errcheck // hard close after a stuck graceful shutdown
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	log.Printf("emserve: drained, bye")
+	return nil
+}

@@ -14,6 +14,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -346,6 +347,16 @@ func trialSeed(seed int64, trial int) int64 {
 
 // Run executes the Monte-Carlo loop serially on one system instance.
 func Run(sys System, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), sys, opt)
+}
+
+// RunCtx is Run with cancellation: the context is checked between trials, so
+// a deadline or cancel stops the loop within one trial's wall time. On
+// cancellation the error wraps ctx.Err() (errors.Is-matchable against
+// context.Canceled / context.DeadlineExceeded) and the partial results are
+// discarded — callers needing progress accounting observe it through the
+// trace ring or telemetry, which tick per completed trial either way.
+func RunCtx(ctx context.Context, sys System, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -387,6 +398,9 @@ func Run(sys System, opt Options) (*Result, error) {
 			}
 		}
 		for t := g0; t < g1; t++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("mc: canceled after %d of %d trials: %w", t, opt.Trials, err)
+			}
 			rng.Seed(trialSeed(opt.Seed, t))
 			ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, idxs, &scratch, &met, run.Trial(t), labeler)
 			if err != nil {
@@ -405,6 +419,14 @@ func Run(sys System, opt Options) (*Result, error) {
 // RunParallel executes trials across workers, each with its own System from
 // the factory. Results are identical to Run thanks to per-trial seeding.
 func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
+	return RunParallelCtx(context.Background(), newSys, opt)
+}
+
+// RunParallelCtx is RunParallel with cancellation: every worker checks the
+// context between trials, so a deadline or cancel drains the pool within one
+// trial's wall time per worker. The returned error wraps ctx.Err() unless a
+// trial failed first (the first failure of any kind wins).
+func RunParallelCtx(ctx context.Context, newSys func() (System, error), opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -489,6 +511,10 @@ func RunParallel(newSys func() (System, error), opt Options) (*Result, error) {
 					}
 				}
 				for t := g0; t < g1; t++ {
+					if err := ctx.Err(); err != nil {
+						fail(fmt.Errorf("mc: canceled at trial %d of %d: %w", t, opt.Trials, err))
+						return
+					}
 					rng.Seed(trialSeed(opt.Seed, t))
 					ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, idxs, &scratch, &met, run.Trial(t), labeler)
 					if err != nil {

@@ -13,6 +13,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -30,36 +31,55 @@ import (
 type Options struct {
 	// Ring, when non-nil, supplies the last-cascade summaries for /status.
 	Ring *trace.Ring
+	// ShutdownTimeout bounds how long Close waits for in-flight requests to
+	// finish before force-closing their connections. A stuck client (e.g. a
+	// half-sent request or an abandoned pprof profile stream) can otherwise
+	// hold a graceful shutdown open indefinitely. Zero selects 2s.
+	ShutdownTimeout time.Duration
 }
+
+// defaultShutdownTimeout is the Close grace period when Options leaves it 0.
+const defaultShutdownTimeout = 2 * time.Second
 
 // Server is a running monitor.
 type Server struct {
-	ln   net.Listener
-	srv  *http.Server
-	ring *trace.Ring
+	ln      net.Listener
+	srv     *http.Server
+	timeout time.Duration
 }
 
-// Start listens on addr (e.g. "localhost:8080", ":0" for an ephemeral port)
-// and serves the monitor endpoints until Close. It enables telemetry and
-// status collection as a side effect.
-func Start(addr string, opt Options) (*Server, error) {
+// Register mounts the monitor endpoints (/status, /debug/vars, /debug/pprof)
+// on an existing mux, so a host server — emserve's job API — can serve them
+// alongside its own routes on one listener. It enables telemetry and status
+// collection as a side effect, exactly like Start.
+func Register(mux *http.ServeMux, opt Options) {
 	reg := telemetry.Enable()
 	reg.EnableStatus()
-
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("monitor: %w", err)
-	}
-	s := &Server{ln: ln, ring: opt.Ring}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/status", statusHandler(opt.Ring))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Start listens on addr (e.g. "localhost:8080", ":0" for an ephemeral port)
+// and serves the monitor endpoints until Close. It enables telemetry and
+// status collection as a side effect.
+func Start(addr string, opt Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %w", err)
+	}
+	timeout := opt.ShutdownTimeout
+	if timeout <= 0 {
+		timeout = defaultShutdownTimeout
+	}
+	s := &Server{ln: ln, timeout: timeout}
+
+	mux := http.NewServeMux()
+	Register(mux, opt)
 
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
@@ -69,12 +89,29 @@ func Start(addr string, opt Options) (*Server, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server. Safe on nil.
+// Close stops the server: a graceful http.Server.Shutdown bounded by the
+// configured timeout (in-flight requests get a chance to finish), then a
+// hard Close of whatever connections remain — so Close always returns within
+// the bound, stuck clients or not. Safe on nil.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err == nil {
+		return nil
+	}
+	if cerr := s.srv.Close(); cerr != nil {
+		return cerr
+	}
+	if err == context.DeadlineExceeded {
+		// The bound fired and the stragglers were force-closed — that is the
+		// contract working, not a failure to report.
+		return nil
+	}
+	return err
 }
 
 // statusPayload is the /status response. Float fields that can be non-finite
@@ -125,7 +162,12 @@ func jsonNumber(v float64) any {
 	return v
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+// statusHandler serves /status against a (possibly nil) trace ring.
+func statusHandler(ring *trace.Ring) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) { writeStatus(w, ring) }
+}
+
+func writeStatus(w http.ResponseWriter, ring *trace.Ring) {
 	var p statusPayload
 	if st, ok := telemetry.Default().Status(); ok {
 		p.Progress = &progressPayload{
@@ -136,8 +178,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			ETASeconds:     st.ETA.Seconds(),
 		}
 	}
-	p.TrialsCompleted = s.ring.Total()
-	if last, ok := s.ring.Last(); ok {
+	p.TrialsCompleted = ring.Total()
+	if last, ok := ring.Last(); ok {
 		c := &cascadePayload{
 			Run:        last.Run,
 			Trial:      last.Trial,

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"testing"
+	"time"
 
 	"emvia/internal/telemetry"
 	"emvia/internal/trace"
@@ -91,6 +93,66 @@ func TestStatusEndpoint(t *testing.T) {
 	}
 	if p.LastCascade.SpecTime != nil {
 		t.Fatalf("spec time = %v, want null (criterion never fired)", p.LastCascade.SpecTime)
+	}
+}
+
+// TestCloseBoundedWithStuckClient is the regression test for the unbounded
+// shutdown: a client that opens a connection and sends half a request keeps
+// the connection in the active state, so a bare http.Server.Shutdown waits
+// on it forever. Close must give up after the configured grace period,
+// force-close the straggler and return.
+func TestCloseBoundedWithStuckClient(t *testing.T) {
+	oldReg := telemetry.Default()
+	defer telemetry.SetDefault(oldReg)
+
+	const grace = 100 * time.Millisecond
+	srv, err := Start("localhost:0", Options{ShutdownTimeout: grace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A half-sent request: headers never terminated, so the server considers
+	// the connection active until its own ReadHeaderTimeout (5s) fires —
+	// long after the shutdown grace period.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /status HTTP/1.1\r\nHost: stuck\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a moment to accept and start reading the request.
+	time.Sleep(10 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close with stuck client: %v", err)
+		}
+	case <-time.After(grace + 2*time.Second):
+		t.Fatal("Close did not return within the shutdown bound")
+	}
+}
+
+// TestCloseGracefulWhenIdle pins the fast path: with no connections open,
+// Close returns promptly via the graceful branch.
+func TestCloseGracefulWhenIdle(t *testing.T) {
+	oldReg := telemetry.Default()
+	defer telemetry.SetDefault(oldReg)
+
+	srv, err := Start("localhost:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, "http://"+srv.Addr()+"/status")
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("idle Close: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("idle Close took %v", d)
 	}
 }
 

@@ -1,6 +1,7 @@
 package pdn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -634,6 +635,15 @@ func (s *GridSystem) WorstIRDropFrac() float64 {
 // immutable symbolic work and stays bit-identical to a serial run over the
 // master.
 func AnalyzeTTF(cfg TTFConfig, trials int, seed int64) (*mc.Result, error) {
+	return AnalyzeTTFCtx(context.Background(), cfg, trials, seed, mc.Options{})
+}
+
+// AnalyzeTTFCtx is AnalyzeTTF with cancellation and a caller-supplied option
+// base: Workers (the per-job worker budget of the analysis service),
+// BatchTrials and TraceLabel are honored; Trials, Seed, Solver and the
+// criterion trace label are filled in here. Results are bit-identical for
+// any worker budget thanks to mc's per-trial seed splitting.
+func AnalyzeTTFCtx(ctx context.Context, cfg TTFConfig, trials int, seed int64, base mc.Options) (*mc.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -641,14 +651,16 @@ func AnalyzeTTF(cfg TTFConfig, trials int, seed int64) (*mc.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mc.RunParallel(func() (mc.System, error) {
+	opt := base
+	opt.Trials = trials
+	opt.Seed = seed
+	if opt.TraceLabel == "" {
+		opt.TraceLabel = "grid:" + cfg.Criterion.String()
+	}
+	opt.Solver = master.circuit.SolverBackend()
+	return mc.RunParallelCtx(ctx, func() (mc.System, error) {
 		return master.Clone(), nil
-	}, mc.Options{
-		Trials:     trials,
-		Seed:       seed,
-		TraceLabel: "grid:" + cfg.Criterion.String(),
-		Solver:     master.circuit.SolverBackend(),
-	})
+	}, opt)
 }
 
 // AnalyzeTTFScreened is the -engine=both pipeline: it runs the linear-time
@@ -659,6 +671,14 @@ func AnalyzeTTF(cfg TTFConfig, trials int, seed int64) (*mc.Result, error) {
 // statistics cannot be trusted, so it surfaces as an error alongside the
 // results rather than silently.
 func AnalyzeTTFScreened(cfg TTFConfig, trials int, seed int64, sc ScreenConfig) (*mc.Result, *GridScreen, error) {
+	return AnalyzeTTFScreenedCtx(context.Background(), cfg, trials, seed, sc, mc.Options{})
+}
+
+// AnalyzeTTFScreenedCtx is AnalyzeTTFScreened with cancellation and a
+// caller-supplied option base (see AnalyzeTTFCtx). The screen itself is a
+// single linear pass and runs to completion; the context bounds the Monte
+// Carlo that follows it.
+func AnalyzeTTFScreenedCtx(ctx context.Context, cfg TTFConfig, trials int, seed int64, sc ScreenConfig, base mc.Options) (*mc.Result, *GridScreen, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -673,16 +693,18 @@ func AnalyzeTTFScreened(cfg TTFConfig, trials int, seed int64, sc ScreenConfig) 
 	if screen.MortalVias == 0 {
 		return nil, screen, fmt.Errorf("pdn: steady screen classified every via array immortal; nothing for the Monte Carlo to simulate (criterion %s)", cfg.Criterion)
 	}
-	res, err := mc.RunParallel(func() (mc.System, error) {
+	opt := base
+	opt.Trials = trials
+	opt.Seed = seed
+	opt.Engine = mc.EngineBoth
+	opt.Candidates = screen.CandidateMask()
+	if opt.TraceLabel == "" {
+		opt.TraceLabel = "grid:" + cfg.Criterion.String()
+	}
+	opt.Solver = master.circuit.SolverBackend()
+	res, err := mc.RunParallelCtx(ctx, func() (mc.System, error) {
 		return master.Clone(), nil
-	}, mc.Options{
-		Trials:     trials,
-		Seed:       seed,
-		Engine:     mc.EngineBoth,
-		Candidates: screen.CandidateMask(),
-		TraceLabel: "grid:" + cfg.Criterion.String(),
-		Solver:     master.circuit.SolverBackend(),
-	})
+	}, opt)
 	if err != nil {
 		return nil, screen, err
 	}

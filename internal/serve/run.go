@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"emvia/internal/core"
+	"emvia/internal/cudd"
+	"emvia/internal/mc"
+	"emvia/internal/pdn"
+	"emvia/internal/phys"
+	"emvia/internal/spice"
+	"emvia/internal/stat"
+	"emvia/internal/viaarray"
+)
+
+// Transient marks an error as retryable: the executor re-attempts the job
+// with backoff instead of failing it. Engine errors are deterministic (the
+// same spec fails the same way), so the default runner never returns one;
+// the classification exists for runners with genuinely transient failure
+// modes — remote solver backends, cache filesystems — and for the retry
+// tests.
+type Transient struct{ Err error }
+
+// Error implements error.
+func (t *Transient) Error() string { return "transient: " + t.Err.Error() }
+
+// Unwrap exposes the cause.
+func (t *Transient) Unwrap() error { return t.Err }
+
+// buildGrid realizes the spec's grid source: a synthetic generate+calibrate
+// or an inline-deck parse. Both paths are deterministic functions of the
+// spec.
+func buildGrid(spec *JobSpec) (*pdn.Grid, error) {
+	if spec.Grid != nil {
+		src := spec.Grid
+		var gs pdn.GridSpec
+		switch strings.ToUpper(src.Name) {
+		case "PG2":
+			gs = pdn.PG2Spec()
+		case "PG5":
+			gs = pdn.PG5Spec()
+		case "PG1":
+			gs = pdn.PG1Spec()
+		default:
+			gs = pdn.PG1Spec()
+			gs.Name = src.Name
+		}
+		if src.NX > 0 {
+			gs.NX = src.NX
+		}
+		if src.NY > 0 {
+			gs.NY = src.NY
+		}
+		if src.PadPeriod > 0 {
+			gs.PadPeriod = src.PadPeriod
+		}
+		gs.Seed = src.Seed
+		gs.Vdd = spec.Vdd
+		g, err := pdn.Generate(gs)
+		if err != nil {
+			return nil, err
+		}
+		if src.CalibrateIR > 0 {
+			if err := g.CalibrateLoad(src.CalibrateIR); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	}
+	gs := pdn.PG1Spec()
+	gs.Vdd = spec.Vdd
+	return pdn.LoadDeck(strings.NewReader(spec.Deck), gs)
+}
+
+// buildModels realizes the spec's analytic TTF models against the grid: a
+// zero reference current means "the busiest array of this grid", resolved
+// with one pristine solve (deterministic, so the content-hash contract
+// holds).
+func buildModels(spec *JobSpec, g *pdn.Grid) (map[cudd.Pattern]viaarray.TTFModel, error) {
+	var busiest float64
+	needBusiest := false
+	for _, m := range spec.Models {
+		if m.RefCurrentAmps == 0 {
+			needBusiest = true
+		}
+	}
+	if needBusiest {
+		imax, _, err := g.MaxViaCurrent()
+		if err != nil {
+			return nil, fmt.Errorf("serve: resolving reference current: %w", err)
+		}
+		if imax <= 0 {
+			return nil, fmt.Errorf("serve: grid carries no via current to reference models against")
+		}
+		busiest = imax
+	}
+	patterns := map[string]cudd.Pattern{"plus": cudd.Plus, "t": cudd.TShape, "l": cudd.LShape}
+	out := make(map[cudd.Pattern]viaarray.TTFModel, len(spec.Models))
+	for key, m := range spec.Models {
+		ref := m.RefCurrentAmps
+		if ref == 0 {
+			ref = busiest
+		}
+		out[patterns[key]] = viaarray.TTFModel{
+			Dist: stat.LogNormal{
+				Mu:    math.Log(phys.YearsToSeconds(m.MedianYears)),
+				Sigma: m.Sigma,
+			},
+			RefCurrent: ref,
+			FailK:      m.FailK,
+		}
+	}
+	return out, nil
+}
+
+// runSpec executes one resolved job spec: the default Runner. The context
+// bounds the Monte Carlo (grid build and screening are single solves);
+// workers is the per-job worker budget and label the trace-run name that
+// keys the job's progress and SSE cascade stream.
+func runSpec(ctx context.Context, spec *JobSpec, workers int, label string) (*runOutput, error) {
+	g, err := buildGrid(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := &runOutput{materialHash: core.MaterialHash(), solver: spice.DefaultSolver().String()}
+	if spec.Engine == mc.EngineSteady {
+		screen, err := pdn.ScreenGrid(g, pdn.ScreenConfig{})
+		if err != nil {
+			return nil, err
+		}
+		out.screen = screen
+		return out, nil
+	}
+	models, err := buildModels(spec, g)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pdn.TTFConfig{Grid: g, Models: models}
+	switch spec.Criterion {
+	case "wl":
+		cfg.Criterion = pdn.WeakestLink
+	default:
+		cfg.Criterion = pdn.IRDrop
+		cfg.IRDropFrac = spec.IRFrac
+	}
+	base := mc.Options{Workers: workers, TraceLabel: label, Engine: spec.Engine}
+	if spec.Engine == mc.EngineBoth {
+		res, screen, err := pdn.AnalyzeTTFScreenedCtx(ctx, cfg, spec.Trials, spec.Seed, pdn.ScreenConfig{}, base)
+		if err != nil {
+			return nil, err
+		}
+		out.mcResult, out.screen = res, screen
+	} else {
+		base.Engine = mc.EngineMC
+		res, err := pdn.AnalyzeTTFCtx(ctx, cfg, spec.Trials, spec.Seed, base)
+		if err != nil {
+			return nil, err
+		}
+		out.mcResult = res
+	}
+	return out, nil
+}

@@ -1,0 +1,422 @@
+// Package serve is the EM-analysis-as-a-service layer: an HTTP/JSON job
+// API in front of the pdn/mc analysis engines.
+//
+// The design is a bounded admission queue feeding a single sequential
+// executor. Jobs are content-addressed — sha256 over the canonicalized
+// spec plus core.MaterialHash() — which buys two dedup layers for free: a
+// result cache (an identical question is answered from the stored
+// manifest, zero solves) and a singleflight map (a submission identical to
+// a queued or running job attaches to that job instead of enqueueing a
+// second execution). Because worker budgets and timeouts are excluded from
+// the hash and mc splits seeds per trial, a cached manifest is
+// byte-identical to the manifest a fresh solve at any worker count would
+// have produced.
+//
+// Everything is observable through the shared telemetry registry
+// (serve.jobs.*, serve.queue.*) and the structured trace ring: each job's
+// Monte-Carlo run is labeled "job:<id>", which keys both the live progress
+// counter and the per-job SSE cascade stream.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"emvia/internal/telemetry"
+	"emvia/internal/trace"
+)
+
+// Runner executes one resolved spec under a context bound. It exists as a
+// seam for tests (fault injection, latency shaping); the zero value of
+// Config selects the real engine path (runSpec).
+type Runner func(ctx context.Context, spec *JobSpec, workers int, label string) (*runOutput, error)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a working default.
+type Config struct {
+	// QueueCap bounds the admission queue; submissions beyond it get 429.
+	// 0 selects 8.
+	QueueCap int
+	// JobWorkers is the per-job Monte-Carlo worker budget. It shapes
+	// wall-clock only, never results (mc splits seeds per trial), which is
+	// why it is absent from the content hash. 0 selects 1.
+	JobWorkers int
+	// DefaultTimeout bounds jobs that do not carry their own
+	// timeout_seconds. 0 selects 5 minutes.
+	DefaultTimeout time.Duration
+	// MaxAttempts bounds execution attempts per job; only errors wrapped
+	// in Transient are retried. 0 selects 3.
+	MaxAttempts int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt. 0 selects 50ms.
+	RetryBackoff time.Duration
+	// ResultDir, when set, persists result manifests as
+	// <dir>/<contenthash>.json so dedup survives restarts.
+	ResultDir string
+	// Runner overrides the engine execution path (tests only).
+	Runner Runner
+}
+
+// Server is the job service: HTTP handlers, admission queue, store and the
+// sequential executor. Create with NewServer, mount Handler, and Drain on
+// shutdown.
+type Server struct {
+	cfg    Config
+	store  *store
+	queue  chan *Job
+	reg    *telemetry.Registry
+	ring   *trace.Ring
+	mux    *http.ServeMux
+	runner Runner
+
+	mu       sync.Mutex
+	draining bool
+	// drained closes when the executor has finished every admitted job.
+	drained chan struct{}
+}
+
+// NewServer builds a server and starts its executor. It enables the
+// process-wide telemetry registry and, if no tracer is installed yet,
+// installs one with a live ring — the ring is what turns Monte-Carlo
+// trials into job progress and SSE events.
+func NewServer(cfg Config) *Server {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 8
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 1
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Minute
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   newStore(cfg.ResultDir),
+		queue:   make(chan *Job, cfg.QueueCap),
+		reg:     telemetry.Enable(),
+		runner:  cfg.Runner,
+		drained: make(chan struct{}),
+	}
+	if s.runner == nil {
+		s.runner = runSpec
+	}
+	if t := trace.Default(); t != nil && t.Ring() != nil {
+		s.ring = t.Ring()
+	} else {
+		s.ring = trace.NewRing(1024)
+		trace.SetDefault(trace.New(trace.Options{Ring: s.ring, DisableSamples: true}))
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	go s.executor()
+	return s
+}
+
+// Handler returns the API mux (mountable under a parent mux alongside the
+// monitor endpoints).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ring returns the trace ring the server observes progress through.
+func (s *Server) Ring() *trace.Ring { return s.ring }
+
+// Drain stops admission (new submissions get 503), lets every admitted job
+// finish, and returns when the executor is idle or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// submitResponse is the POST /v1/jobs body.
+type submitResponse struct {
+	ID    string `json:"id"`
+	Hash  string `json:"content_hash"`
+	State State  `json:"state"`
+	// Dedup reports how a duplicate was coalesced: "result-cache" or
+	// "in-flight". Empty for a fresh enqueue.
+	Dedup string `json:"dedup,omitempty"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone = nothing to do
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// handleSubmit is POST /v1/jobs: decode → validate → content-address →
+// dedup (result cache, then singleflight) → bounded enqueue.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, MaxSpecBytes)
+	spec, err := DecodeJobSpec(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if spec.TimeoutSeconds > 0 {
+		timeout = time.Duration(spec.TimeoutSeconds * float64(time.Second))
+	}
+	resolved := spec.Resolved()
+	hash, err := spec.ContentHash()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.reg.Counter(telemetry.ServeSubmitted).Inc()
+
+	// Dedup layer 1: the content-addressed result cache. The job completes
+	// instantly from the stored manifest — zero engine work.
+	if manifest, ok := s.store.lookupResult(hash); ok {
+		job := s.store.create(hash, resolved, timeout)
+		job.completeFromCache(manifest)
+		s.reg.Counter(telemetry.ServeDedupCacheHits).Inc()
+		s.writeJSON(w, http.StatusOK, submitResponse{ID: job.ID, Hash: hash, State: StateDone, Dedup: "result-cache"})
+		return
+	}
+
+	// Dedup layer 2 + admission, atomically with respect to Drain: the
+	// singleflight claim and the queue send sit under one lock so a
+	// duplicate never enqueues and a submission never races queue close.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.reg.Counter(telemetry.ServeRejectedDraining).Inc()
+		w.Header().Set("Retry-After", "5")
+		s.writeError(w, http.StatusServiceUnavailable, "serve: draining, not accepting jobs")
+		return
+	}
+	job := s.store.create(hash, resolved, timeout)
+	incumbent, fresh := s.store.claimInflight(job)
+	if !fresh {
+		s.store.remove(job.ID)
+		s.mu.Unlock()
+		s.reg.Counter(telemetry.ServeDedupInflightHits).Inc()
+		st := incumbent.Status()
+		s.writeJSON(w, http.StatusOK, submitResponse{ID: incumbent.ID, Hash: hash, State: st.State, Dedup: "in-flight"})
+		return
+	}
+	select {
+	case s.queue <- job:
+		s.reg.Counter(telemetry.ServeQueueDepth).Inc()
+		s.mu.Unlock()
+		s.writeJSON(w, http.StatusAccepted, submitResponse{ID: job.ID, Hash: hash, State: StateQueued})
+	default:
+		s.store.releaseInflight(job)
+		s.store.remove(job.ID)
+		s.mu.Unlock()
+		s.reg.Counter(telemetry.ServeRejectedFull).Inc()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "serve: job queue full")
+	}
+}
+
+// statusResponse is the GET /v1/jobs/{id} body.
+type statusResponse struct {
+	ID          string `json:"id"`
+	Hash        string `json:"content_hash"`
+	State       State  `json:"state"`
+	Error       string `json:"error,omitempty"`
+	Attempts    int    `json:"attempts"`
+	TrialsDone  int64  `json:"trials_done"`
+	TrialsTotal int64  `json:"trials_total"`
+	CreatedAt   string `json:"created_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+}
+
+func statusJSON(st Status) statusResponse {
+	out := statusResponse{
+		ID:          st.ID,
+		Hash:        st.Hash,
+		State:       st.State,
+		Error:       st.Err,
+		Attempts:    st.Attempts,
+		TrialsDone:  st.TrialsDone,
+		TrialsTotal: st.TrialsTotal,
+	}
+	if !st.Created.IsZero() {
+		out.CreatedAt = st.Created.UTC().Format(time.RFC3339Nano)
+	}
+	if !st.Started.IsZero() {
+		out.StartedAt = st.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !st.Finished.IsZero() {
+		out.FinishedAt = st.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	return out
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	job, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "serve: unknown job id")
+		return nil, false
+	}
+	return job, true
+}
+
+// handleStatus is GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, statusJSON(job.Status()))
+}
+
+// handleResult is GET /v1/jobs/{id}/result: the canonical manifest on
+// success, 504 with partial progress after a deadline, 500 on failure, 409
+// while the job is still pending.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	st := job.Status()
+	switch st.State {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Content-Hash", st.Hash)
+		w.WriteHeader(http.StatusOK)
+		w.Write(job.Manifest()) //nolint:errcheck
+	case StateDeadline:
+		s.writeJSON(w, http.StatusGatewayTimeout, statusJSON(st))
+	case StateFailed:
+		s.writeJSON(w, http.StatusInternalServerError, statusJSON(st))
+	default:
+		s.writeJSON(w, http.StatusConflict, statusJSON(st))
+	}
+}
+
+// executor runs admitted jobs one at a time, in admission order. The
+// sequential discipline is what makes ring-delta progress exact: every
+// trial completing while a job runs belongs to that job.
+func (s *Server) executor() {
+	defer close(s.drained)
+	for job := range s.queue {
+		s.reg.Counter(telemetry.ServeQueueDepth).Add(-1)
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job: deadline context, live progress from the trace
+// ring, bounded retry on Transient errors, terminal bookkeeping.
+func (s *Server) runJob(job *Job) {
+	st := job.Status()
+	s.reg.Histogram(telemetry.ServeQueueWaitSeconds).Observe(time.Since(st.Created).Seconds())
+	t0 := s.reg.Histogram(telemetry.ServeJobSeconds).Start()
+	defer s.reg.Histogram(telemetry.ServeJobSeconds).ObserveSince(t0)
+	defer s.store.releaseInflight(job)
+
+	ctx, cancel := context.WithTimeout(context.Background(), job.Timeout)
+	defer cancel()
+
+	ringStart := s.ring.Total()
+	progressDone := make(chan struct{})
+	go s.trackProgress(job, ringStart, progressDone)
+	defer close(progressDone)
+
+	var out *runOutput
+	var err error
+	for attempt := 1; ; attempt++ {
+		job.setRunning()
+		s.reg.Counter(telemetry.ServeSolves).Inc()
+		out, err = s.runner(ctx, job.Spec, s.cfg.JobWorkers, job.TraceLabel())
+		if err == nil {
+			break
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			job.setProgress(s.ring.Total() - ringStart)
+			job.finish(StateDeadline, nil, err.Error())
+			s.reg.Counter(telemetry.ServeDeadlineExceeded).Inc()
+			return
+		}
+		var tr *Transient
+		if errors.As(err, &tr) && attempt < s.cfg.MaxAttempts {
+			s.reg.Counter(telemetry.ServeRetries).Inc()
+			backoff := s.cfg.RetryBackoff << (attempt - 1)
+			select {
+			case <-time.After(backoff):
+				continue
+			case <-ctx.Done():
+				job.finish(StateDeadline, nil, ctx.Err().Error())
+				s.reg.Counter(telemetry.ServeDeadlineExceeded).Inc()
+				return
+			}
+		}
+		job.finish(StateFailed, nil, err.Error())
+		s.reg.Counter(telemetry.ServeFailed).Inc()
+		return
+	}
+
+	manifest, err := buildManifest(job.Hash, job.Spec, out)
+	if err == nil {
+		var buf []byte
+		if buf, err = manifest.Encode(); err == nil {
+			if serr := s.store.saveResult(job.Hash, buf); serr != nil {
+				// Persisting is best-effort: the job still completes from
+				// memory, only cross-restart dedup is lost.
+				s.reg.Counter(telemetry.ServeFailed).Inc()
+			}
+			job.finish(StateDone, buf, "")
+			s.reg.Counter(telemetry.ServeCompleted).Inc()
+			return
+		}
+	}
+	job.finish(StateFailed, nil, err.Error())
+	s.reg.Counter(telemetry.ServeFailed).Inc()
+}
+
+// trackProgress mirrors the trace ring's trial counter into the job while
+// it runs. Progress is the ring delta since the job started — exact under
+// the sequential executor.
+func (s *Server) trackProgress(job *Job, ringStart int64, done <-chan struct{}) {
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			job.setProgress(s.ring.Total() - ringStart)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDecodeRejects pins the admission failures the fuzzer explores: each
+// of these bodies must be refused before any job could be enqueued.
+func TestDecodeRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":          ``,
+		"not json":       `]]]`,
+		"trailing":       `{"grid":{}} garbage`,
+		"unknown field":  `{"grid":{},"frobnicate":1}`,
+		"wrong type":     `{"trials":"many","grid":{}}`,
+		"huge exponent":  `{"vdd":1e999,"grid":{}}`,
+		"nan literal":    `{"vdd":NaN,"grid":{}}`,
+		"string number":  `{"seed":"42","grid":{}}`,
+		"array payload":  `[1,2,3]`,
+		"double payload": `{"grid":{}}{"grid":{}}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeJobSpec(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: decode accepted %q", name, body)
+		}
+	}
+}
+
+// TestValidateRejects pins the post-decode admission failures.
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]JobSpec{
+		"no source":      {},
+		"both sources":   {Deck: "* deck", Grid: &GridSource{}},
+		"schema skew":    {SchemaVersion: SpecSchemaVersion + 1, Grid: &GridSource{}},
+		"bad engine":     {Engine: "warp", Grid: &GridSource{}},
+		"bad criterion":  {Criterion: "vibes", Grid: &GridSource{}},
+		"trials cap":     {Trials: MaxTrials + 1, Grid: &GridSource{}},
+		"neg trials":     {Trials: -1, Grid: &GridSource{}},
+		"grid cap":       {Grid: &GridSource{NX: MaxGridStripes + 1}},
+		"neg nx":         {Grid: &GridSource{NX: -4}},
+		"bad model key":  {Grid: &GridSource{}, Models: map[string]ModelSpec{"star": {MedianYears: 5, Sigma: 0.3}}},
+		"neg median":     {Grid: &GridSource{}, Models: map[string]ModelSpec{"plus": {MedianYears: -5, Sigma: 0.3}}},
+		"neg timeout":    {Grid: &GridSource{}, TimeoutSeconds: -1},
+		"neg irfrac":     {IRFrac: -0.1, Grid: &GridSource{}},
+		"irfrac above 1": {IRFrac: 1.5, Grid: &GridSource{}},
+		"neg vdd":        {Vdd: -1.8, Grid: &GridSource{}},
+	}
+	for name, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, spec)
+		}
+	}
+}
+
+// TestContentHashCanonicalization pins the dedup identity: defaults
+// spelled out and defaults omitted are the same job; execution knobs
+// (timeout) are not part of the identity; a result-shaping knob (seed) is.
+func TestContentHashCanonicalization(t *testing.T) {
+	base := JobSpec{Grid: &GridSource{}}
+	explicit := JobSpec{
+		Engine: "mc", Vdd: 1.8, Criterion: "ir", IRFrac: 0.10,
+		Trials: 100, Seed: 2017,
+		Grid: &GridSource{Name: "PG1", Seed: 1, CalibrateIR: 0.065},
+	}
+	h1 := mustHash(t, &base)
+	if h2 := mustHash(t, &explicit); h2 != h1 {
+		t.Errorf("explicit defaults changed the hash: %s vs %s", h2, h1)
+	}
+	timeouted := base
+	timeouted.TimeoutSeconds = 30
+	if h3 := mustHash(t, &timeouted); h3 != h1 {
+		t.Errorf("timeout (an execution knob) changed the hash")
+	}
+	seeded := base
+	seeded.Seed = 999
+	if h4 := mustHash(t, &seeded); h4 == h1 {
+		t.Errorf("seed change did not change the hash")
+	}
+	steady := base
+	steady.Engine = "steady"
+	steadyTrials := steady
+	steadyTrials.Trials = 5000
+	if mustHash(t, &steady) != mustHash(t, &steadyTrials) {
+		t.Errorf("steady engine did not canonicalize the inert trial knob away")
+	}
+}
+
+func mustHash(t *testing.T, s *JobSpec) string {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	h, err := s.ContentHash()
+	if err != nil {
+		t.Fatalf("ContentHash: %v", err)
+	}
+	return h
+}
+
+// FuzzJobSpecDecode drives arbitrary bytes through the full admission path
+// — decode, validate, resolve, hash. The invariants: no panic anywhere,
+// and every spec that passes validation must resolve and hash cleanly
+// (anything else would let a hostile payload reach the queue in a state
+// the executor cannot content-address).
+func FuzzJobSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"grid":{"name":"PG1","nx":6,"ny":6},"trials":10}`))
+	f.Add([]byte(`{"deck":"* title\nR1 n1_0_0 n1_0_1 1.0\n.end"}`))
+	f.Add([]byte(`{"engine":"steady","grid":{}}`))
+	f.Add([]byte(`{"engine":"both","grid":{},"models":{"plus":{"median_years":5,"sigma":0.3}}}`))
+	f.Add([]byte(`{"schema_version":99,"grid":{}}`))
+	f.Add([]byte(`{"vdd":1e999,"grid":{}}`))
+	f.Add([]byte(`{"trials":-1,"grid":{}}`))
+	f.Add([]byte(`{"grid":{},"timeout_seconds":1e308}`))
+	f.Add([]byte(`{"grid":{}} trailing`))
+	f.Add([]byte(`{"grid":{},"unknown_field":true}`))
+	f.Add([]byte(`{"criterion":"wl","ir_frac":0.5,"grid":{"calibrate_ir":-1}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at decode: never enqueued
+		}
+		if err := spec.Validate(); err != nil {
+			return // rejected at validation: never enqueued
+		}
+		resolved := spec.Resolved()
+		if resolved.Engine == "" || resolved.Vdd == 0 || resolved.Criterion == "" {
+			t.Fatalf("validated spec resolved with missing defaults: %+v", resolved)
+		}
+		h1, err := spec.ContentHash()
+		if err != nil {
+			t.Fatalf("validated spec failed to hash: %v", err)
+		}
+		h2, err := resolved.ContentHash()
+		if err != nil || h2 != h1 {
+			t.Fatalf("hash not idempotent under resolution: %q vs %q (err %v)", h1, h2, err)
+		}
+	})
+}

@@ -65,6 +65,24 @@ const (
 	CharHits         = "core.charcache.hits"
 	CharMisses       = "core.charcache.misses"
 
+	// internal/serve — the EM-analysis job server. Submitted counts every
+	// accepted POST (dedup'd or not); Solves counts actual engine
+	// executions, so submitted - dedup hits = solves + failures. QueueDepth
+	// is a gauge (Add +1 on enqueue, -1 on dequeue).
+	ServeSubmitted         = "serve.jobs.submitted"
+	ServeDedupCacheHits    = "serve.jobs.dedup_cache_hits"
+	ServeDedupInflightHits = "serve.jobs.dedup_inflight_hits"
+	ServeRejectedFull      = "serve.jobs.rejected_queue_full"
+	ServeRejectedDraining  = "serve.jobs.rejected_draining"
+	ServeCompleted         = "serve.jobs.completed"
+	ServeFailed            = "serve.jobs.failed"
+	ServeDeadlineExceeded  = "serve.jobs.deadline_exceeded"
+	ServeRetries           = "serve.jobs.retries"
+	ServeSolves            = "serve.solves"
+	ServeQueueDepth        = "serve.queue.depth"
+	ServeJobSeconds        = "serve.job_seconds"
+	ServeQueueWaitSeconds  = "serve.queue_wait_seconds"
+
 	// internal/par — worker-pool utilization. BusyNanos is the summed
 	// in-worker time of parallel dispatches; WallNanos is the summed
 	// wall-clock time of those dispatches weighted by the worker count, so

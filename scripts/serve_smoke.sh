@@ -1,0 +1,71 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the emserve job service.
+#
+# Builds cmd/emserve with the race detector, boots it on an ephemeral port,
+# submits one tiny synthetic-grid Monte-Carlo job over HTTP, polls it to
+# completion, fetches and sanity-checks the content-addressed result
+# manifest, and finally drains the server with SIGTERM (the process must
+# exit 0 on its own — that is the graceful-drain contract).
+#
+# Usage: sh scripts/serve_smoke.sh [artifact-dir]
+set -eu
+
+OUT=${1:-serve-smoke-artifacts}
+mkdir -p "$OUT"
+
+go build -race -o "$OUT/emserve" ./cmd/emserve
+"$OUT/emserve" -addr 127.0.0.1:0 -job-workers 2 -resultdir "$OUT/results" \
+    >"$OUT/emserve.log" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# The server logs its bound address ("listening on http://…"); wait for it.
+ADDR=
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's|.*listening on http://||p' "$OUT/emserve.log" | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+    echo "serve_smoke: emserve did not start" >&2
+    cat "$OUT/emserve.log" >&2
+    exit 1
+fi
+
+SPEC='{"engine":"mc","criterion":"wl","grid":{"name":"PG1","nx":6,"ny":6,"pad_period":3,"calibrate_ir":0.05},"trials":6,"seed":7}'
+RESP=$(curl -sS -X POST --data "$SPEC" "http://$ADDR/v1/jobs")
+echo "serve_smoke: submit -> $RESP"
+ID=$(printf '%s' "$RESP" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+if [ -z "$ID" ]; then
+    echo "serve_smoke: no job id in submit response" >&2
+    exit 1
+fi
+
+STATE=
+i=0
+while [ $i -lt 300 ]; do
+    STATE=$(curl -sS "http://$ADDR/v1/jobs/$ID" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    case "$STATE" in
+    done | failed | deadline_exceeded) break ;;
+    esac
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ "$STATE" != done ]; then
+    echo "serve_smoke: job ended in state '$STATE'" >&2
+    cat "$OUT/emserve.log" >&2
+    exit 1
+fi
+
+curl -sS "http://$ADDR/v1/jobs/$ID/result" >"$OUT/manifest.json"
+grep -q '"content_hash"' "$OUT/manifest.json"
+grep -q '"material_hash"' "$OUT/manifest.json"
+grep -q '"percentiles_years"' "$OUT/manifest.json"
+
+# Graceful drain: SIGTERM, then the process must exit 0 on its own.
+kill -TERM "$PID"
+wait "$PID"
+trap - EXIT
+echo "serve_smoke: OK ($(wc -c <"$OUT/manifest.json") byte manifest in $OUT/manifest.json)"
