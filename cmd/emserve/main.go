@@ -12,11 +12,14 @@
 //	                            429 queue full, 503 draining)
 //	GET  /v1/jobs/{id}          job status with live trial progress
 //	GET  /v1/jobs/{id}/events   Server-Sent-Events cascade stream
+//	GET  /v1/jobs/{id}/timeline per-job stage timeline (admit → queue-wait
+//	                            → resolve → compile → factorize → screen →
+//	                            mc → manifest)
 //	GET  /v1/jobs/{id}/result   canonical result manifest (504 after a
 //	                            job deadline, with partial progress in
 //	                            the status endpoint)
-//	/status, /debug/vars,       the monitor endpoints, on the same
-//	/debug/pprof                listener
+//	/status, /metrics,          the monitor endpoints (JSON status and
+//	/debug/vars, /debug/pprof   Prometheus exposition), on the same listener
 //
 // SIGINT/SIGTERM drains gracefully: new submissions are rejected with 503
 // while admitted jobs run to completion (bounded by -drain-timeout).
@@ -55,6 +58,7 @@ func run() error {
 	maxAttempts := flag.Int("max-attempts", 3, "execution attempts per job for transient failures")
 	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "delay before the first retry, doubling per attempt")
 	resultDir := flag.String("resultdir", "", "persist result manifests here (content-addressed; empty = memory only)")
+	ledgerPath := flag.String("ledger", "", "append one JSONL record per terminal job here (empty = <resultdir>/ledger.jsonl when -resultdir is set; \"-\" disables)")
 	ringSize := flag.Int("ring", 1024, "trace ring capacity (live progress and SSE window)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "bound on graceful drain at shutdown")
 	solverFlag := flag.String("solver", "", "linear solver backend: auto, cg, direct, sparse (empty = auto)")
@@ -80,6 +84,7 @@ func run() error {
 		MaxAttempts:    *maxAttempts,
 		RetryBackoff:   *retryBackoff,
 		ResultDir:      *resultDir,
+		LedgerPath:     *ledgerPath,
 	})
 
 	mux := http.NewServeMux()

@@ -1,12 +1,18 @@
-// Command emtrace analyzes the JSONL failure-cascade traces written by
-// emgrid/emsweep/paperfigs -trace: per-run cascade statistics, failure-order
-// histograms by component family (mesh pattern / via position), the
-// cascade-length distribution, and a time-to-spec vs first-failure scatter.
+// Command emtrace analyzes the observability artifacts of the EM pipeline:
+// the JSONL failure-cascade traces written by emgrid/emsweep/paperfigs
+// -trace, and the run ledger written by emserve.
 //
 // Usage:
 //
 //	emtrace [-top N] [-noplot] trace.jsonl [more.jsonl ...]
-//	emtrace -            # read a trace from stdin
+//	emtrace -                      # read a trace from stdin
+//	emtrace ledger [-top N] ledger.jsonl [more.jsonl ...]
+//
+// The trace report covers per-run cascade statistics, failure-order
+// histograms by component family (mesh pattern / via position), the
+// cascade-length distribution, and a time-to-spec vs first-failure scatter.
+// The ledger report covers job outcomes, throughput, dedup rate,
+// queue-wait/wall-clock percentiles and the per-stage latency breakdown.
 package main
 
 import (
@@ -26,40 +32,79 @@ import (
 )
 
 func main() {
-	top := flag.Int("top", 8, "component families listed per histogram")
-	noplot := flag.Bool("noplot", false, "skip the time-to-spec scatter plot")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) {
+	fmt.Fprintln(stderr, "usage:")
+	fmt.Fprintln(stderr, "  emtrace [-top N] [-noplot] trace.jsonl [more.jsonl ...]")
+	fmt.Fprintln(stderr, "  emtrace -          (read a trace from stdin)")
+	fmt.Fprintln(stderr, "  emtrace ledger [-top N] ledger.jsonl [more.jsonl ...]")
+}
+
+// run dispatches the subcommand and returns the process exit code. An
+// unknown subcommand — a first argument that is not a flag, not stdin and
+// not an existing file — is a usage error, not a silent empty report.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch arg := args[0]; {
+		case arg == "ledger":
+			return runLedger(args[1:], stdout, stderr)
+		case arg == "help", arg == "-h", arg == "--help":
+			usage(stderr)
+			return 0
+		case arg != "-" && !strings.HasPrefix(arg, "-"):
+			if _, err := os.Stat(arg); err != nil {
+				fmt.Fprintf(stderr, "emtrace: unknown subcommand or missing file %q\n", arg)
+				usage(stderr)
+				return 2
+			}
+		}
+	}
+	return runTraces(args, stdout, stderr)
+}
+
+// runTraces is the default subcommand: the cascade-trace report.
+func runTraces(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 8, "component families listed per histogram")
+	noplot := fs.Bool("noplot", false, "skip the time-to-spec scatter plot")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		usage(stderr)
+		return 2
 	}
 	var runs []*runStats
 	byKey := make(map[runKey]*runStats)
 	var spans spanStats
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		var r io.Reader = os.Stdin
 		if path != "-" {
 			f, err := os.Open(path)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "emtrace: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "emtrace: %v\n", err)
+				return 1
 			}
 			defer f.Close()
 			r = f
 		}
 		if err := readTrace(r, byKey, &runs, &spans); err != nil {
-			fmt.Fprintf(os.Stderr, "emtrace: %s: %v\n", path, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "emtrace: %s: %v\n", path, err)
+			return 1
 		}
 	}
 	if len(runs) == 0 && spans.count == 0 {
-		fmt.Fprintln(os.Stderr, "emtrace: no events found")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "emtrace: no events found")
+		return 1
 	}
 	for _, rs := range runs {
-		rs.report(os.Stdout, *top, !*noplot)
+		rs.report(stdout, *top, !*noplot)
 	}
-	spans.report(os.Stdout)
+	spans.report(stdout)
+	return 0
 }
 
 type runKey struct {

@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"emvia/internal/serve"
 	"emvia/internal/trace"
 )
 
@@ -100,6 +103,122 @@ func TestReportRenders(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("report missing %q in:\n%s", want, got)
 		}
+	}
+}
+
+// TestRunExitCodes pins the CLI contract: unknown subcommands and bad flags
+// are loud usage errors (exit 2), not silent empty reports.
+func TestRunExitCodes(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(tracePath, syntheticTrace(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"unknown subcommand", []string{"bogus-subcommand"}, 2},
+		{"unknown flag", []string{"-definitely-not-a-flag", tracePath}, 2},
+		{"ledger no args", []string{"ledger"}, 2},
+		{"ledger unknown flag", []string{"ledger", "-nope"}, 2},
+		{"missing trace file treated as subcommand", []string{"no/such/file.jsonl"}, 2},
+		{"ledger missing file", []string{"ledger", "no/such/ledger.jsonl"}, 1},
+		{"help", []string{"help"}, 0},
+		{"trace report", []string{"-noplot", tracePath}, 0},
+	}
+	for _, tc := range cases {
+		var stdout, stderr strings.Builder
+		if got := run(tc.args, &stdout, &stderr); got != tc.want {
+			t.Errorf("%s: exit = %d, want %d (stderr: %s)", tc.name, got, tc.want, stderr.String())
+		}
+		if tc.want == 2 && !strings.Contains(strings.ToLower(stderr.String()), "usage") {
+			t.Errorf("%s: usage not printed on stderr: %s", tc.name, stderr.String())
+		}
+	}
+}
+
+// syntheticLedger writes a small ledger through the real serve.Ledger so the
+// subcommand test exercises the exact JSONL shape emserve produces.
+func syntheticLedger(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l := serve.NewLedger(path)
+	recs := []serve.LedgerRecord{
+		{
+			Schema: serve.LedgerSchemaVersion, Time: "2026-08-08T10:00:00Z",
+			ID: "job-1", ContentHash: "aaa", Engine: "mc", Outcome: "done",
+			Attempts: 1, TrialsDone: 64, TrialsTotal: 64,
+			QueueWaitSeconds: 0.01, WallSeconds: 1.5,
+			StageSeconds: map[string]float64{"mc": 1.2, "factorize": 0.2, "manifest": 0.05},
+		},
+		{
+			Schema: serve.LedgerSchemaVersion, Time: "2026-08-08T10:00:05Z",
+			ID: "job-2", ContentHash: "bbb", Engine: "mc", Outcome: "failed",
+			Error: "boom", Attempts: 2, Retries: 1,
+			QueueWaitSeconds: 0.02, WallSeconds: 0.4,
+			StageSeconds: map[string]float64{"resolve": 0.1},
+		},
+		{
+			Schema: serve.LedgerSchemaVersion, Time: "2026-08-08T10:00:06Z",
+			ID: "job-3", ContentHash: "aaa", Engine: "mc", Outcome: "done",
+			Dedup: "result-cache", TrialsDone: 64, TrialsTotal: 64,
+		},
+	}
+	for i := range recs {
+		if err := l.Append(&recs[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	return path
+}
+
+// TestLedgerSubcommand runs `emtrace ledger` over a synthetic ledger and
+// checks the report covers outcomes, dedup rate, throughput, latency
+// percentiles and the stage breakdown.
+func TestLedgerSubcommand(t *testing.T) {
+	path := syntheticLedger(t)
+	var stdout, stderr strings.Builder
+	if got := run([]string{"ledger", path}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"run ledger: 3 records",
+		"done=2",
+		"failed=1",
+		"dedup rate: 1/3",
+		"trials: 128/128 completed",
+		"throughput: 3 jobs",
+		"queue-wait",
+		"wall-clock",
+		"stage breakdown",
+		"mc",
+		"factorize",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ledger report missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestLedgerSubcommandCorruptLine: a torn trailing line is reported as
+// skipped, and the intact records still render.
+func TestLedgerSubcommandCorruptLine(t *testing.T) {
+	path := syntheticLedger(t)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"id":"torn`) //nolint:errcheck
+	f.Close()
+	var stdout, stderr strings.Builder
+	if got := run([]string{"ledger", path}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "1 corrupt lines skipped") {
+		t.Errorf("skipped count missing in:\n%s", stdout.String())
 	}
 }
 

@@ -1,8 +1,10 @@
 // Package monitor serves the live HTTP observability endpoints of the
 // long-running CLIs (-http addr):
 //
-//	/status      JSON: loop progress with ETA, trial throughput, and the
-//	             last completed cascade's summary (from the trace ring)
+//	/status      JSON: loop progress with ETA, trial throughput, the last
+//	             completed cascade's summary (from the trace ring), and
+//	             serve-layer latency percentiles when a job server runs
+//	/metrics     Prometheus text exposition of the telemetry registry
 //	/debug/vars  expvar, including the "emvia" telemetry snapshot
 //	/debug/pprof net/http/pprof profiles
 //
@@ -21,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"emvia/internal/telemetry"
@@ -56,6 +59,7 @@ func Register(mux *http.ServeMux, opt Options) {
 	reg := telemetry.Enable()
 	reg.EnableStatus()
 	mux.HandleFunc("/status", statusHandler(opt.Ring))
+	mux.HandleFunc("/metrics", metricsHandler(opt.Ring))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -126,6 +130,9 @@ type statusPayload struct {
 	// LastCascade summarizes the most recently completed trial; null before
 	// the first completion or without a ring.
 	LastCascade *cascadePayload `json:"last_cascade"`
+	// Serve carries the job-service latency summaries; omitted until the
+	// first job runs.
+	Serve *servePayload `json:"serve,omitempty"`
 }
 
 type progressPayload struct {
@@ -133,7 +140,9 @@ type progressPayload struct {
 	Done           int64   `json:"done"`
 	Total          int64   `json:"total"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
-	ETASeconds     float64 `json:"eta_seconds"`
+	// ETASeconds is null before the first completed trial (no basis for an
+	// estimate) and whenever the projection is non-finite.
+	ETASeconds any `json:"eta_seconds"`
 }
 
 type cascadePayload struct {
@@ -148,23 +157,92 @@ type cascadePayload struct {
 	MaxRate    any    `json:"max_aging_rate"`
 }
 
-// jsonNumber keeps finite values numeric and spells non-finite ones as
-// strings, matching the trace JSONL convention.
+// histSummary is the /status digest of one latency histogram.
+type histSummary struct {
+	Count int64 `json:"count"`
+	Mean  any   `json:"mean"`
+	P50   any   `json:"p50"`
+	P90   any   `json:"p90"`
+	P99   any   `json:"p99"`
+}
+
+// servePayload is the /status "serve" section: queue-wait, whole-job and
+// per-stage latency percentiles from the telemetry histograms.
+type servePayload struct {
+	QueueWaitSeconds *histSummary            `json:"queue_wait_seconds,omitempty"`
+	JobSeconds       *histSummary            `json:"job_seconds,omitempty"`
+	StageSeconds     map[string]*histSummary `json:"stage_seconds,omitempty"`
+}
+
+// jsonNumber keeps finite values numeric and renders non-finite ones as
+// null, so /status consumers never meet a value JSON cannot carry. (The
+// result-manifest convention of "+Inf" strings is a separate, pinned format
+// — this is the live-status contract only.)
 func jsonNumber(v float64) any {
-	switch {
-	case math.IsInf(v, 1):
-		return "+Inf"
-	case math.IsInf(v, -1):
-		return "-Inf"
-	case math.IsNaN(v):
-		return "NaN"
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
 	}
 	return v
+}
+
+// summarize digests a histogram snapshot; nil when it holds no samples.
+func summarize(h telemetry.HistogramSnapshot) *histSummary {
+	if h.Count == 0 {
+		return nil
+	}
+	return &histSummary{
+		Count: h.Count,
+		Mean:  jsonNumber(h.Mean),
+		P50:   jsonNumber(h.P50),
+		P90:   jsonNumber(h.P90),
+		P99:   jsonNumber(h.P99),
+	}
+}
+
+// serveStatus builds the /status serve section from the registry snapshot,
+// nil when no job has touched the serve histograms (non-server CLIs).
+func serveStatus(s *telemetry.Snapshot) *servePayload {
+	out := &servePayload{
+		QueueWaitSeconds: summarize(s.Histograms[telemetry.ServeQueueWaitSeconds]),
+		JobSeconds:       summarize(s.Histograms[telemetry.ServeJobSeconds]),
+	}
+	const prefix = "serve.stage_seconds{stage="
+	for name, h := range s.Histograms {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, "}") {
+			continue
+		}
+		stage := name[len(prefix) : len(name)-1]
+		if sum := summarize(h); sum != nil {
+			if out.StageSeconds == nil {
+				out.StageSeconds = make(map[string]*histSummary)
+			}
+			out.StageSeconds[stage] = sum
+		}
+	}
+	if out.QueueWaitSeconds == nil && out.JobSeconds == nil && out.StageSeconds == nil {
+		return nil
+	}
+	return out
 }
 
 // statusHandler serves /status against a (possibly nil) trace ring.
 func statusHandler(ring *trace.Ring) http.HandlerFunc {
 	return func(w http.ResponseWriter, _ *http.Request) { writeStatus(w, ring) }
+}
+
+// metricsHandler serves /metrics: the whole telemetry registry in Prometheus
+// text exposition. Ring occupancy is sampled into gauges at scrape time, so
+// the ring itself stays telemetry-free.
+func metricsHandler(ring *trace.Ring) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		reg := telemetry.Default()
+		if ring != nil {
+			reg.Gauge(telemetry.TraceRingOccupancy).Set(float64(ring.Occupancy()))
+			reg.Gauge(telemetry.TraceRingCapacity).Set(float64(ring.Cap()))
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client gone = nothing to do
+	}
 }
 
 func writeStatus(w http.ResponseWriter, ring *trace.Ring) {
@@ -175,9 +253,14 @@ func writeStatus(w http.ResponseWriter, ring *trace.Ring) {
 			Done:           st.Done,
 			Total:          st.Total,
 			ElapsedSeconds: st.Elapsed.Seconds(),
-			ETASeconds:     st.ETA.Seconds(),
+		}
+		// An ETA extrapolated from zero completed trials is not an estimate;
+		// serialize it (and any non-finite projection) as null.
+		if st.Done > 0 && st.Total > 0 {
+			p.Progress.ETASeconds = jsonNumber(st.ETA.Seconds())
 		}
 	}
+	p.Serve = serveStatus(telemetry.Default().Snapshot())
 	p.TrialsCompleted = ring.Total()
 	if last, ok := ring.Last(); ok {
 		c := &cascadePayload{

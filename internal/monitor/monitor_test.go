@@ -6,6 +6,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -88,11 +89,90 @@ func TestStatusEndpoint(t *testing.T) {
 	if p.LastCascade.Run != "grid:IR-drop" || p.LastCascade.Failures != 1 {
 		t.Fatalf("last cascade = %+v", p.LastCascade)
 	}
-	if p.LastCascade.TTF != "+Inf" {
-		t.Fatalf("infinite TTF rendered as %v, want \"+Inf\"", p.LastCascade.TTF)
+	if p.LastCascade.TTF != nil {
+		t.Fatalf("infinite TTF rendered as %v, want null", p.LastCascade.TTF)
 	}
 	if p.LastCascade.SpecTime != nil {
 		t.Fatalf("spec time = %v, want null (criterion never fired)", p.LastCascade.SpecTime)
+	}
+}
+
+// TestStatusETANullWithZeroTrials pins the zero-progress contract: before
+// any trial completes there is no basis for an ETA, so eta_seconds must be
+// JSON null, not a garbage extrapolation.
+func TestStatusETANullWithZeroTrials(t *testing.T) {
+	oldReg := telemetry.Default()
+	defer telemetry.SetDefault(oldReg)
+	telemetry.SetDefault(nil)
+
+	srv, err := Start("localhost:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	telemetry.Default().ProgressTick("mc", 0, 100)
+	var p struct {
+		Progress *struct {
+			Done       int64 `json:"done"`
+			ETASeconds any   `json:"eta_seconds"`
+		} `json:"progress"`
+	}
+	if err := json.Unmarshal(get(t, base+"/status"), &p); err != nil {
+		t.Fatalf("/status not JSON: %v", err)
+	}
+	if p.Progress == nil {
+		t.Fatal("progress missing after tick")
+	}
+	if p.Progress.ETASeconds != nil {
+		t.Fatalf("zero-trials ETA = %v, want null", p.Progress.ETASeconds)
+	}
+}
+
+// TestMetricsEndpoint checks /metrics serves a Prometheus exposition
+// covering counters, stage histograms and the scrape-time ring gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	oldReg := telemetry.Default()
+	defer telemetry.SetDefault(oldReg)
+	telemetry.SetDefault(nil)
+
+	ring := trace.NewRing(8)
+	srv, err := Start("localhost:0", Options{Ring: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := telemetry.Default()
+	reg.Counter(telemetry.ServeSubmitted).Inc()
+	reg.Histogram(telemetry.ServeStageSeconds("mc")).Observe(0.25)
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"emvia_serve_jobs_submitted_total 1",
+		`emvia_serve_stage_seconds_bucket{stage="mc",le="+Inf"} 1`,
+		"emvia_trace_ring_occupancy 0",
+		"emvia_trace_ring_capacity 8",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, " NaN\n") || strings.Contains(text, " +Inf\n") || strings.Contains(text, " Inf\n") {
+		t.Error("/metrics leaked a non-finite value")
 	}
 }
 

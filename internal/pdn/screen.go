@@ -1,6 +1,7 @@
 package pdn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"emvia/internal/spice"
 	"emvia/internal/steady"
 	"emvia/internal/telemetry"
+	"emvia/internal/trace"
 )
 
 // ScreenConfig tunes the grid-level steady-state EM screen (arXiv
@@ -216,16 +218,30 @@ func (s *GridSystem) SteadyScreen(sc ScreenConfig) (*GridScreen, error) {
 // the standalone -engine=steady path, which never builds TTF models or
 // touches the Monte Carlo.
 func ScreenGrid(g *Grid, sc ScreenConfig) (*GridScreen, error) {
+	return ScreenGridCtx(context.Background(), g, sc)
+}
+
+// ScreenGridCtx is ScreenGrid with a context whose timeline (if any) gets
+// the "compile", "factorize" and "screen" stage spans. The context is
+// observational only — the screen is a single bounded pass.
+func ScreenGridCtx(ctx context.Context, g *Grid, sc ScreenConfig) (*GridScreen, error) {
 	if g == nil {
 		return nil, fmt.Errorf("pdn: ScreenGrid needs a grid")
 	}
+	tl := trace.TimelineFrom(ctx)
+	endCompile := tl.Stage("compile")
 	circuit, err := spice.Compile(g.Netlist)
+	endCompile()
 	if err != nil {
 		return nil, fmt.Errorf("pdn: compiling grid: %w", err)
 	}
+	endFactorize := tl.Stage("factorize")
 	op, err := circuit.SolveDC(nil)
+	endFactorize()
 	if err != nil {
 		return nil, fmt.Errorf("pdn: pristine solve: %w", err)
 	}
+	endScreen := tl.Stage("screen")
+	defer endScreen()
 	return screenGrid(g, circuit, op, sc)
 }

@@ -9,6 +9,7 @@ import (
 	"emvia/internal/cudd"
 	"emvia/internal/mc"
 	"emvia/internal/spice"
+	"emvia/internal/trace"
 	"emvia/internal/viaarray"
 )
 
@@ -161,14 +162,27 @@ type prepTrial struct {
 // NewSystem compiles the grid and solves the pristine operating point. It
 // rejects grids whose nominal IR drop already violates the criterion.
 func NewSystem(cfg TTFConfig) (*GridSystem, error) {
+	return NewSystemCtx(context.Background(), cfg)
+}
+
+// NewSystemCtx is NewSystem with a context whose timeline (if any) gets the
+// "compile" and "factorize" stage spans. The context is observational only:
+// system construction is a bounded amount of work and does not check for
+// cancellation.
+func NewSystemCtx(ctx context.Context, cfg TTFConfig) (*GridSystem, error) {
+	tl := trace.TimelineFrom(ctx)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	endCompile := tl.Stage("compile")
 	circuit, err := spice.Compile(cfg.Grid.Netlist)
+	endCompile()
 	if err != nil {
 		return nil, fmt.Errorf("pdn: compiling grid: %w", err)
 	}
+	endFactorize := tl.Stage("factorize")
 	op, err := circuit.SolveDC(nil)
+	endFactorize()
 	if err != nil {
 		return nil, fmt.Errorf("pdn: pristine solve: %w", err)
 	}
@@ -647,7 +661,7 @@ func AnalyzeTTFCtx(ctx context.Context, cfg TTFConfig, trials int, seed int64, b
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	master, err := NewSystem(cfg)
+	master, err := NewSystemCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -658,6 +672,8 @@ func AnalyzeTTFCtx(ctx context.Context, cfg TTFConfig, trials int, seed int64, b
 		opt.TraceLabel = "grid:" + cfg.Criterion.String()
 	}
 	opt.Solver = master.circuit.SolverBackend()
+	endMC := trace.TimelineFrom(ctx).Stage("mc")
+	defer endMC()
 	return mc.RunParallelCtx(ctx, func() (mc.System, error) {
 		return master.Clone(), nil
 	}, opt)
@@ -682,11 +698,14 @@ func AnalyzeTTFScreenedCtx(ctx context.Context, cfg TTFConfig, trials int, seed 
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
-	master, err := NewSystem(cfg)
+	master, err := NewSystemCtx(ctx, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
+	tl := trace.TimelineFrom(ctx)
+	endScreen := tl.Stage("screen")
 	screen, err := master.SteadyScreen(sc)
+	endScreen()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -702,9 +721,11 @@ func AnalyzeTTFScreenedCtx(ctx context.Context, cfg TTFConfig, trials int, seed 
 		opt.TraceLabel = "grid:" + cfg.Criterion.String()
 	}
 	opt.Solver = master.circuit.SolverBackend()
+	endMC := tl.Stage("mc")
 	res, err := mc.RunParallelCtx(ctx, func() (mc.System, error) {
 		return master.Clone(), nil
 	}, opt)
+	endMC()
 	if err != nil {
 		return nil, screen, err
 	}

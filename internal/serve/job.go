@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"emvia/internal/trace"
 )
 
 // State is a job's lifecycle position.
@@ -36,6 +38,10 @@ type Job struct {
 	Spec *JobSpec
 	// Timeout is the execution bound the runner gets.
 	Timeout time.Duration
+	// Timeline accumulates the job's stage spans (admit → queue-wait →
+	// engine stages → manifest). May be nil; recording through it is
+	// nil-safe.
+	Timeline *trace.Timeline
 
 	// done closes on the terminal transition; SSE streams and drain wait on
 	// it.
@@ -54,13 +60,14 @@ type Job struct {
 }
 
 // newJob builds a queued job.
-func newJob(id, hash string, spec *JobSpec, timeout time.Duration) *Job {
+func newJob(id, hash string, spec *JobSpec, timeout time.Duration, tl *trace.Timeline) *Job {
 	total := int64(spec.Trials)
 	return &Job{
 		ID:          id,
 		Hash:        hash,
 		Spec:        spec,
 		Timeout:     timeout,
+		Timeline:    tl,
 		done:        make(chan struct{}),
 		state:       StateQueued,
 		trialsTotal: total,
@@ -249,7 +256,7 @@ func (st *store) saveResult(hash string, manifest []byte) error {
 }
 
 // create registers a new job under the next ID.
-func (st *store) create(hash string, spec *JobSpec, timeout time.Duration) *Job {
+func (st *store) create(hash string, spec *JobSpec, timeout time.Duration, tl *trace.Timeline) *Job {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.nextID++
@@ -257,7 +264,7 @@ func (st *store) create(hash string, spec *JobSpec, timeout time.Duration) *Job 
 	if len(short) > 8 {
 		short = short[:8]
 	}
-	j := newJob(fmt.Sprintf("j-%d-%s", st.nextID, short), hash, spec, timeout)
+	j := newJob(fmt.Sprintf("j-%d-%s", st.nextID, short), hash, spec, timeout, tl)
 	st.jobs[j.ID] = j
 	return j
 }

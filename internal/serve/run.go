@@ -13,6 +13,7 @@ import (
 	"emvia/internal/phys"
 	"emvia/internal/spice"
 	"emvia/internal/stat"
+	"emvia/internal/trace"
 	"emvia/internal/viaarray"
 )
 
@@ -121,13 +122,17 @@ func buildModels(spec *JobSpec, g *pdn.Grid) (map[cudd.Pattern]viaarray.TTFModel
 // workers is the per-job worker budget and label the trace-run name that
 // keys the job's progress and SSE cascade stream.
 func runSpec(ctx context.Context, spec *JobSpec, workers int, label string) (*runOutput, error) {
+	tl := trace.TimelineFrom(ctx)
+	endResolve := tl.Stage("resolve")
 	g, err := buildGrid(spec)
 	if err != nil {
+		endResolve()
 		return nil, err
 	}
 	out := &runOutput{materialHash: core.MaterialHash(), solver: spice.DefaultSolver().String()}
 	if spec.Engine == mc.EngineSteady {
-		screen, err := pdn.ScreenGrid(g, pdn.ScreenConfig{})
+		endResolve()
+		screen, err := pdn.ScreenGridCtx(ctx, g, pdn.ScreenConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -135,6 +140,7 @@ func runSpec(ctx context.Context, spec *JobSpec, workers int, label string) (*ru
 		return out, nil
 	}
 	models, err := buildModels(spec, g)
+	endResolve()
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -472,10 +473,11 @@ func TestBadSubmissionsNeverEnqueue(t *testing.T) {
 	}
 }
 
-// TestUnknownJob: the status and result endpoints 404 on unknown IDs.
+// TestUnknownJob: the status, result and timeline endpoints 404 on unknown
+// IDs.
 func TestUnknownJob(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result", "/v1/jobs/nope/events"} {
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result", "/v1/jobs/nope/events", "/v1/jobs/nope/timeline"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -485,6 +487,210 @@ func TestUnknownJob(t *testing.T) {
 			t.Errorf("GET %s: code %d, want 404", path, resp.StatusCode)
 		}
 	}
+}
+
+// getTimeline fetches and decodes /timeline.
+func getTimeline(t *testing.T, ts *httptest.Server, id string) timelineResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/timeline")
+	if err != nil {
+		t.Fatalf("GET timeline: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET timeline: code %d", resp.StatusCode)
+	}
+	var tl timelineResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		t.Fatalf("decoding timeline: %v", err)
+	}
+	return tl
+}
+
+// TestTimelineEndpoint runs a real mc job end to end and checks its stage
+// timeline covers the whole pipeline in order, that every span is sane, and
+// that the stage spans landed in the per-stage latency histograms and the
+// serve gauges returned to idle.
+func TestTimelineEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	_, sub, _ := submit(t, ts, tinySpec)
+	if st := waitTerminal(t, ts, sub.ID); st.State != StateDone {
+		t.Fatalf("state %q, want done", st.State)
+	}
+
+	tl := getTimeline(t, ts, sub.ID)
+	if tl.ID != sub.ID || tl.Hash != sub.Hash || tl.State != StateDone {
+		t.Fatalf("timeline envelope %+v", tl)
+	}
+	want := []string{"admit", "queue-wait", "resolve", "compile", "factorize", "mc", "manifest"}
+	if len(tl.Stages) != len(want) {
+		t.Fatalf("stages = %+v, want %v", tl.Stages, want)
+	}
+	prevStart := -1.0
+	for i, sp := range tl.Stages {
+		if sp.Stage != want[i] {
+			t.Errorf("stage[%d] = %q, want %q", i, sp.Stage, want[i])
+		}
+		if sp.DurationSeconds < 0 || sp.StartSeconds < prevStart {
+			t.Errorf("stage[%d] %+v out of order or negative", i, sp)
+		}
+		prevStart = sp.StartSeconds
+		h := telemetry.Default().Histogram(telemetry.ServeStageSeconds(sp.Stage)).Snapshot()
+		if h.Count != 1 {
+			t.Errorf("stage histogram %q count = %d, want 1", sp.Stage, h.Count)
+		}
+	}
+	if d := telemetry.Default().Gauge(telemetry.ServeQueueDepth).Value(); d != 0 {
+		t.Errorf("queue depth gauge = %v after completion, want 0", d)
+	}
+	if a := telemetry.Default().Gauge(telemetry.ServeJobsActive).Value(); a != 0 {
+		t.Errorf("active jobs gauge = %v after completion, want 0", a)
+	}
+}
+
+// TestLedgerReplaysJobSet: with a result dir, every terminal job — executed
+// or answered from the result cache — appends exactly one ledger record,
+// and the records replay the submitted job set with outcomes, dedup
+// disposition and stage durations.
+func TestLedgerReplaysJobSet(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{ResultDir: dir})
+
+	_, j1, _ := submit(t, ts, specWithSeed(1))
+	waitTerminal(t, ts, j1.ID)
+	_, j2, _ := submit(t, ts, specWithSeed(2))
+	waitTerminal(t, ts, j2.ID)
+	code, j3, _ := submit(t, ts, specWithSeed(1)) // result-cache replay
+	if code != http.StatusOK || j3.Dedup != "result-cache" {
+		t.Fatalf("duplicate submit: code %d resp %+v", code, j3)
+	}
+
+	recs, skipped, err := ReadLedger(s.ledger.Path())
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadLedger: %v (skipped %d)", err, skipped)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("ledger has %d records, want 3: %+v", len(recs), recs)
+	}
+	byID := map[string]LedgerRecord{}
+	for _, r := range recs {
+		byID[r.ID] = r
+		if r.Schema != LedgerSchemaVersion || r.Engine != "mc" || r.Outcome != string(StateDone) {
+			t.Errorf("record %+v: want schema %d, engine mc, outcome done", r, LedgerSchemaVersion)
+		}
+		if r.Time == "" {
+			t.Errorf("record %s missing timestamp", r.ID)
+		}
+	}
+	for _, sub := range []submitResponse{j1, j2, j3} {
+		r, ok := byID[sub.ID]
+		if !ok {
+			t.Fatalf("job %s missing from ledger", sub.ID)
+		}
+		if r.ContentHash != sub.Hash {
+			t.Errorf("job %s: ledger hash %s, want %s", sub.ID, r.ContentHash, sub.Hash)
+		}
+	}
+	if d := byID[j3.ID].Dedup; d != "result-cache" {
+		t.Errorf("cached job dedup = %q, want result-cache", d)
+	}
+	if d := byID[j1.ID].Dedup; d != "" {
+		t.Errorf("executed job dedup = %q, want empty", d)
+	}
+	for _, id := range []string{j1.ID, j2.ID} {
+		r := byID[id]
+		if r.TrialsDone != 6 || r.TrialsTotal != 6 || r.Attempts != 1 || r.Retries != 0 {
+			t.Errorf("executed record %+v: want 6/6 trials, 1 attempt", r)
+		}
+		for _, stage := range []string{"admit", "queue-wait", "mc", "manifest"} {
+			if _, ok := r.StageSeconds[stage]; !ok {
+				t.Errorf("job %s: ledger missing stage %q (have %v)", id, stage, r.StageSeconds)
+			}
+		}
+		if r.WallSeconds <= 0 {
+			t.Errorf("job %s: wall_seconds = %v", id, r.WallSeconds)
+		}
+	}
+	if got := counter(telemetry.ServeLedgerRecords); got != 3 {
+		t.Errorf("ledger records counter = %d, want 3", got)
+	}
+	if got := counter(telemetry.ServeLedgerErrors); got != 0 {
+		t.Errorf("ledger errors counter = %d, want 0", got)
+	}
+}
+
+// TestLedgerTimelineManifestInvariance pins the observability-is-passive
+// contract: the same spec solved with the ledger and timelines fully
+// enabled and with the ledger disabled yields byte-identical manifests.
+func TestLedgerTimelineManifestInvariance(t *testing.T) {
+	var manifests []string
+	for _, cfg := range []Config{{}, {ResultDir: t.TempDir()}} {
+		func() {
+			telemetry.SetDefault(telemetry.New())
+			trace.SetDefault(trace.New(trace.Options{Ring: trace.NewRing(256), DisableSamples: true}))
+			defer telemetry.SetDefault(nil)
+			defer trace.SetDefault(nil)
+			s := NewServer(cfg)
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				s.Drain(ctx) //nolint:errcheck
+			}()
+			code, sub, _ := submit(t, ts, tinySpec)
+			if code != http.StatusAccepted {
+				t.Fatalf("submit code %d", code)
+			}
+			if st := waitTerminal(t, ts, sub.ID); st.State != StateDone {
+				t.Fatalf("state %q error %q", st.State, st.Error)
+			}
+			rcode, body := getResult(t, ts, sub.ID)
+			if rcode != http.StatusOK {
+				t.Fatalf("result code %d", rcode)
+			}
+			manifests = append(manifests, string(body))
+		}()
+	}
+	if manifests[0] != manifests[1] {
+		t.Errorf("manifests differ with observability off vs on:\n--- off\n%s\n--- on\n%s", manifests[0], manifests[1])
+	}
+}
+
+// TestLedgerPathConfig pins the path resolution: explicit LedgerPath wins,
+// "-" disables the ledger even with a result dir.
+func TestLedgerPathConfig(t *testing.T) {
+	dir := t.TempDir()
+	explicit := filepath.Join(dir, "custom.jsonl")
+	telemetry.SetDefault(telemetry.New())
+	defer telemetry.SetDefault(nil)
+	defer trace.SetDefault(nil)
+	drain := func(s *Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck
+	}
+	s := NewServer(Config{ResultDir: dir, LedgerPath: explicit})
+	if s.ledger.Path() != explicit {
+		t.Errorf("explicit ledger path = %q, want %q", s.ledger.Path(), explicit)
+	}
+	drain(s)
+	s = NewServer(Config{ResultDir: dir, LedgerPath: "-"})
+	if s.ledger != nil {
+		t.Errorf(`LedgerPath "-" did not disable the ledger`)
+	}
+	drain(s)
+	s = NewServer(Config{})
+	if s.ledger != nil {
+		t.Errorf("memory-only server grew a ledger")
+	}
+	drain(s)
+	s = NewServer(Config{ResultDir: dir})
+	if s.ledger.Path() != filepath.Join(dir, "ledger.jsonl") {
+		t.Errorf("default ledger path = %q", s.ledger.Path())
+	}
+	drain(s)
 }
 
 // TestEventsStream: the SSE endpoint replays the job's cascade summaries

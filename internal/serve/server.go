@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -58,6 +59,10 @@ type Config struct {
 	// ResultDir, when set, persists result manifests as
 	// <dir>/<contenthash>.json so dedup survives restarts.
 	ResultDir string
+	// LedgerPath, when set, appends one JSONL record per terminal job to
+	// that file. Empty selects <ResultDir>/ledger.jsonl when ResultDir is
+	// set, otherwise no ledger. "-" disables the ledger explicitly.
+	LedgerPath string
 	// Runner overrides the engine execution path (tests only).
 	Runner Runner
 }
@@ -73,6 +78,7 @@ type Server struct {
 	ring   *trace.Ring
 	mux    *http.ServeMux
 	runner Runner
+	ledger *Ledger
 
 	mu       sync.Mutex
 	draining bool
@@ -111,6 +117,14 @@ func NewServer(cfg Config) *Server {
 	if s.runner == nil {
 		s.runner = runSpec
 	}
+	switch {
+	case cfg.LedgerPath == "-":
+		// explicitly disabled
+	case cfg.LedgerPath != "":
+		s.ledger = NewLedger(cfg.LedgerPath)
+	case cfg.ResultDir != "":
+		s.ledger = NewLedger(filepath.Join(cfg.ResultDir, "ledger.jsonl"))
+	}
 	if t := trace.Default(); t != nil && t.Ring() != nil {
 		s.ring = t.Ring()
 	} else {
@@ -122,6 +136,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	go s.executor()
 	return s
 }
@@ -177,9 +192,19 @@ func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 	s.writeJSON(w, code, errorResponse{Error: msg})
 }
 
+// newTimeline builds a job timeline anchored at the submission instant,
+// with an observer that mirrors every stage span into the per-stage latency
+// histograms (serve.stage_seconds{stage=…}).
+func (s *Server) newTimeline(epoch time.Time) *trace.Timeline {
+	return trace.NewTimeline(epoch, func(stage string, seconds float64) {
+		s.reg.Histogram(telemetry.ServeStageSeconds(stage)).Observe(seconds)
+	})
+}
+
 // handleSubmit is POST /v1/jobs: decode → validate → content-address →
 // dedup (result cache, then singleflight) → bounded enqueue.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	admitStart := time.Now()
 	body := http.MaxBytesReader(w, r.Body, MaxSpecBytes)
 	spec, err := DecodeJobSpec(body)
 	if err != nil {
@@ -205,12 +230,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Dedup layer 1: the content-addressed result cache. The job completes
 	// instantly from the stored manifest — zero engine work.
 	if manifest, ok := s.store.lookupResult(hash); ok {
-		job := s.store.create(hash, resolved, timeout)
+		tl := s.newTimeline(admitStart)
+		tl.Add("admit", admitStart, time.Since(admitStart))
+		job := s.store.create(hash, resolved, timeout, tl)
 		job.completeFromCache(manifest)
 		s.reg.Counter(telemetry.ServeDedupCacheHits).Inc()
+		s.ledgerAppend(job, "result-cache")
 		s.writeJSON(w, http.StatusOK, submitResponse{ID: job.ID, Hash: hash, State: StateDone, Dedup: "result-cache"})
 		return
 	}
+
+	// The admit span closes here — before the enqueue — so it is always
+	// the timeline's first entry: once the job is in the queue, the
+	// executor can record queue-wait at any moment.
+	tl := s.newTimeline(admitStart)
+	tl.Add("admit", admitStart, time.Since(admitStart))
 
 	// Dedup layer 2 + admission, atomically with respect to Drain: the
 	// singleflight claim and the queue send sit under one lock so a
@@ -223,7 +257,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "serve: draining, not accepting jobs")
 		return
 	}
-	job := s.store.create(hash, resolved, timeout)
+	job := s.store.create(hash, resolved, timeout, tl)
 	incumbent, fresh := s.store.claimInflight(job)
 	if !fresh {
 		s.store.remove(job.ID)
@@ -235,7 +269,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case s.queue <- job:
-		s.reg.Counter(telemetry.ServeQueueDepth).Inc()
+		s.reg.Gauge(telemetry.ServeQueueDepth).Add(1)
 		s.mu.Unlock()
 		s.writeJSON(w, http.StatusAccepted, submitResponse{ID: job.ID, Hash: hash, State: StateQueued})
 	default:
@@ -332,7 +366,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) executor() {
 	defer close(s.drained)
 	for job := range s.queue {
-		s.reg.Counter(telemetry.ServeQueueDepth).Add(-1)
+		s.reg.Gauge(telemetry.ServeQueueDepth).Add(-1)
 		s.runJob(job)
 	}
 }
@@ -341,12 +375,19 @@ func (s *Server) executor() {
 // ring, bounded retry on Transient errors, terminal bookkeeping.
 func (s *Server) runJob(job *Job) {
 	st := job.Status()
-	s.reg.Histogram(telemetry.ServeQueueWaitSeconds).Observe(time.Since(st.Created).Seconds())
+	queueWait := time.Since(st.Created)
+	s.reg.Histogram(telemetry.ServeQueueWaitSeconds).Observe(queueWait.Seconds())
+	job.Timeline.Add("queue-wait", st.Created, queueWait)
+	s.reg.Gauge(telemetry.ServeJobsActive).Add(1)
 	t0 := s.reg.Histogram(telemetry.ServeJobSeconds).Start()
+	// Ledger last (defers run LIFO): the job is terminal and every stage
+	// span — including "manifest" — is recorded by the time it fires.
+	defer s.ledgerAppend(job, "")
+	defer s.reg.Gauge(telemetry.ServeJobsActive).Add(-1)
 	defer s.reg.Histogram(telemetry.ServeJobSeconds).ObserveSince(t0)
 	defer s.store.releaseInflight(job)
 
-	ctx, cancel := context.WithTimeout(context.Background(), job.Timeout)
+	ctx, cancel := context.WithTimeout(trace.WithTimeline(context.Background(), job.Timeline), job.Timeout)
 	defer cancel()
 
 	ringStart := s.ring.Total()
@@ -387,6 +428,7 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 
+	endManifest := job.Timeline.Stage("manifest")
 	manifest, err := buildManifest(job.Hash, job.Spec, out)
 	if err == nil {
 		var buf []byte
@@ -396,13 +438,81 @@ func (s *Server) runJob(job *Job) {
 				// memory, only cross-restart dedup is lost.
 				s.reg.Counter(telemetry.ServeFailed).Inc()
 			}
+			endManifest()
 			job.finish(StateDone, buf, "")
 			s.reg.Counter(telemetry.ServeCompleted).Inc()
 			return
 		}
 	}
+	endManifest()
 	job.finish(StateFailed, nil, err.Error())
 	s.reg.Counter(telemetry.ServeFailed).Inc()
+}
+
+// timelineResponse is the GET /v1/jobs/{id}/timeline body.
+type timelineResponse struct {
+	ID     string            `json:"id"`
+	Hash   string            `json:"content_hash"`
+	State  State             `json:"state"`
+	Stages []trace.StageSpan `json:"stages"`
+}
+
+// handleTimeline is GET /v1/jobs/{id}/timeline: the job's stage spans in
+// recording order. Available at any lifecycle point — a running job shows
+// the stages completed so far.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	st := job.Status()
+	stages := job.Timeline.Spans()
+	if stages == nil {
+		stages = []trace.StageSpan{}
+	}
+	s.writeJSON(w, http.StatusOK, timelineResponse{ID: st.ID, Hash: st.Hash, State: st.State, Stages: stages})
+}
+
+// ledgerAppend records a terminal job in the run ledger (no-op without a
+// ledger). dedup marks jobs answered without execution ("result-cache").
+func (s *Server) ledgerAppend(job *Job, dedup string) {
+	if s.ledger == nil {
+		return
+	}
+	st := job.Status()
+	rec := &LedgerRecord{
+		Schema:      LedgerSchemaVersion,
+		Time:        st.Finished.UTC().Format(time.RFC3339Nano),
+		ID:          st.ID,
+		ContentHash: st.Hash,
+		Engine:      job.Spec.Engine,
+		Outcome:     string(st.State),
+		Error:       st.Err,
+		Dedup:       dedup,
+		Attempts:    st.Attempts,
+		TrialsDone:  st.TrialsDone,
+		TrialsTotal: st.TrialsTotal,
+	}
+	if st.Attempts > 1 {
+		rec.Retries = st.Attempts - 1
+	}
+	if !st.Finished.IsZero() {
+		rec.WallSeconds = st.Finished.Sub(st.Created).Seconds()
+	}
+	if spans := job.Timeline.Spans(); len(spans) > 0 {
+		rec.StageSeconds = make(map[string]float64, len(spans))
+		for _, sp := range spans {
+			rec.StageSeconds[sp.Stage] += sp.DurationSeconds
+			if sp.Stage == "queue-wait" {
+				rec.QueueWaitSeconds += sp.DurationSeconds
+			}
+		}
+	}
+	if err := s.ledger.Append(rec); err != nil {
+		s.reg.Counter(telemetry.ServeLedgerErrors).Inc()
+		return
+	}
+	s.reg.Counter(telemetry.ServeLedgerRecords).Inc()
 }
 
 // trackProgress mirrors the trace ring's trial counter into the job while

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Gauge is an atomic instantaneous value — queue depths, active-job counts,
+// ring occupancy — the third metric kind next to the monotonic Counter and
+// the distribution Histogram. A nil *Gauge is a valid no-op sink, so
+// instrumented code records unconditionally, exactly like counters.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (negative deltas decrease it). No-op on a
+// nil receiver.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, delta)
+}
+
+// Value returns the current value; zero on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}

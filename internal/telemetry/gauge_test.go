@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeSetAddValue(t *testing.T) {
+	var g Gauge
+	if v := g.Value(); v != 0 {
+		t.Fatalf("zero gauge = %v, want 0", v)
+	}
+	g.Set(3.5)
+	g.Add(1.5)
+	if v := g.Value(); v != 5 {
+		t.Fatalf("after Set(3.5)+Add(1.5) = %v, want 5", v)
+	}
+	g.Add(-7)
+	if v := g.Value(); v != -2 {
+		t.Fatalf("after Add(-7) = %v, want -2", v)
+	}
+}
+
+func TestGaugeNilSafe(t *testing.T) {
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if v := g.Value(); v != 0 {
+		t.Fatalf("nil gauge Value = %v, want 0", v)
+	}
+	var r *Registry
+	if r.Gauge("x") != nil {
+		t.Fatal("nil registry must hand out nil gauges")
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Fatalf("balanced concurrent adds = %v, want 0", v)
+	}
+}
+
+func TestSnapshotIncludesGauges(t *testing.T) {
+	r := New()
+	r.Gauge("serve.queue.depth").Set(4)
+	s := r.Snapshot()
+	if s.Gauges["serve.queue.depth"] != 4 {
+		t.Fatalf("snapshot gauges = %v", s.Gauges)
+	}
+}

@@ -67,8 +67,10 @@ const (
 
 	// internal/serve — the EM-analysis job server. Submitted counts every
 	// accepted POST (dedup'd or not); Solves counts actual engine
-	// executions, so submitted - dedup hits = solves + failures. QueueDepth
-	// is a gauge (Add +1 on enqueue, -1 on dequeue).
+	// executions, so submitted - dedup hits = solves + failures.
+	// QueueDepth and JobsActive are gauges (+1 on enqueue/admit, -1 on
+	// dequeue/terminal); LedgerRecords/LedgerErrors count run-ledger
+	// appends.
 	ServeSubmitted         = "serve.jobs.submitted"
 	ServeDedupCacheHits    = "serve.jobs.dedup_cache_hits"
 	ServeDedupInflightHits = "serve.jobs.dedup_inflight_hits"
@@ -80,8 +82,16 @@ const (
 	ServeRetries           = "serve.jobs.retries"
 	ServeSolves            = "serve.solves"
 	ServeQueueDepth        = "serve.queue.depth"
+	ServeJobsActive        = "serve.jobs.active"
 	ServeJobSeconds        = "serve.job_seconds"
 	ServeQueueWaitSeconds  = "serve.queue_wait_seconds"
+	ServeLedgerRecords     = "serve.ledger.records"
+	ServeLedgerErrors      = "serve.ledger.errors"
+
+	// internal/trace — live-ring occupancy, published as gauges at monitor
+	// scrape time (the ring itself stays telemetry-free).
+	TraceRingOccupancy = "trace.ring.occupancy"
+	TraceRingCapacity  = "trace.ring.capacity"
 
 	// internal/par — worker-pool utilization. BusyNanos is the summed
 	// in-worker time of parallel dispatches; WallNanos is the summed
@@ -92,6 +102,16 @@ const (
 	ParBusyNanos = "par.busy_nanos"
 	ParWallNanos = "par.weighted_wall_nanos"
 )
+
+// ServeStageSeconds names the per-stage job-latency histogram of one
+// executor stage ("queue-wait", "resolve", "compile", "factorize", "screen",
+// "mc", "manifest", …). The label suffix follows the registry's metric-label
+// convention — `base{key=value}` — which the Prometheus exposition writer
+// renders as a proper label pair, so every stage is one series of a single
+// emvia_serve_stage_seconds family.
+func ServeStageSeconds(stage string) string {
+	return "serve.stage_seconds{stage=" + stage + "}"
+}
 
 // Derived-metric names (computed at snapshot time, never stored).
 const (

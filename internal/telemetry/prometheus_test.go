@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Exposition grammar, one regexp per line class. Values must be plain
+// decimal/scientific floats — the writer clamps NaN/±Inf, so the value
+// grammar deliberately excludes them.
+var (
+	promTypeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	promSampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? (\+Inf|-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$`)
+)
+
+// validateExposition asserts every line is grammatical, TYPE lines precede
+// their family's samples, no series repeats, and no value is NaN/±Inf
+// (le="+Inf" appears only as a bucket label, which the sample regexp
+// permits solely inside the quoted label value).
+func validateExposition(t *testing.T, out []byte) {
+	t.Helper()
+	seenSeries := make(map[string]bool)
+	typed := make(map[string]string)
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "#") {
+			if !promTypeRe.MatchString(line) {
+				t.Fatalf("invalid TYPE line: %q", line)
+			}
+			name := strings.Fields(line)[2]
+			if typed[name] != "" {
+				t.Fatalf("family %s typed twice", name)
+			}
+			typed[name] = strings.Fields(line)[3]
+			continue
+		}
+		if !promSampleRe.MatchString(line) {
+			t.Fatalf("invalid sample line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		series, value := line[:sp], line[sp+1:]
+		if value == "+Inf" || value == "-Inf" || value == "NaN" {
+			t.Fatalf("non-finite value leaked: %q", line)
+		}
+		if seenSeries[series] {
+			t.Fatalf("duplicate series %q", series)
+		}
+		seenSeries[series] = true
+		// The sample must belong to a declared family.
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				if typed[strings.TrimSuffix(name, suf)] == "histogram" {
+					base = strings.TrimSuffix(name, suf)
+				}
+			}
+		}
+		if typed[base] == "" {
+			t.Fatalf("sample %q precedes or lacks its TYPE line", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanning exposition: %v", err)
+	}
+}
+
+func expose(t *testing.T, r *Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestWritePrometheusBasics(t *testing.T) {
+	r := New()
+	r.Counter("serve.jobs.submitted").Add(7)
+	r.Gauge("serve.queue.depth").Set(3)
+	r.Gauge(ServeStageSeconds("queue-wait")).Set(0.5) // label convention on a gauge
+	h := r.Histogram("serve.job_seconds")
+	h.Observe(1.0) // bucket [1,2) → le="2"
+	h.Observe(1.5)
+	h.Observe(3.0) // bucket [2,4) → le="4"
+
+	out := expose(t, r)
+	validateExposition(t, out)
+	text := string(out)
+	for _, want := range []string{
+		"# TYPE emvia_serve_jobs_submitted_total counter",
+		"emvia_serve_jobs_submitted_total 7",
+		"# TYPE emvia_serve_queue_depth gauge",
+		"emvia_serve_queue_depth 3",
+		`emvia_serve_stage_seconds{stage="queue-wait"} 0.5`,
+		"# TYPE emvia_serve_job_seconds histogram",
+		`emvia_serve_job_seconds_bucket{le="2"} 2`,
+		`emvia_serve_job_seconds_bucket{le="4"} 3`,
+		`emvia_serve_job_seconds_bucket{le="+Inf"} 3`,
+		"emvia_serve_job_seconds_sum 5.5",
+		"emvia_serve_job_seconds_count 3",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestWritePrometheusEmptyAndEdgeHistograms(t *testing.T) {
+	r := New()
+	r.Histogram("never.observed") // empty: only +Inf bucket, sum 0, count 0
+	hInf := r.Histogram("ttf.with_inf")
+	hInf.Observe(math.Inf(1)) // sum goes +Inf; must clamp, count stays honest
+	hNaN := r.Histogram("with.nan")
+	hNaN.Observe(math.NaN())
+	hNeg := r.Histogram("with.negative")
+	hNeg.Observe(-3)
+	r.Gauge("nan.gauge").Set(math.NaN())
+	r.Gauge("inf.gauge").Set(math.Inf(-1))
+
+	out := expose(t, r)
+	validateExposition(t, out)
+	text := string(out)
+	for _, want := range []string{
+		`emvia_never_observed_bucket{le="+Inf"} 0`,
+		"emvia_never_observed_sum 0",
+		"emvia_never_observed_count 0",
+		`emvia_ttf_with_inf_bucket{le="+Inf"} 1`,
+		"emvia_ttf_with_inf_sum 0", // clamped
+		"emvia_ttf_with_inf_count 1",
+		"emvia_with_nan_count 1",
+		"emvia_with_negative_count 1",
+		"emvia_nan_gauge 0",
+		"emvia_inf_gauge 0",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestWritePrometheusCumulativeBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	obs := []float64{0.001, 0.002, 0.004, 1, 1, 64, 1e30}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	out := expose(t, r)
+	validateExposition(t, out)
+
+	// Parse the emitted buckets back and check cumulative consistency:
+	// nondecreasing counts, final le="+Inf" equals _count.
+	var last int64 = -1
+	var infCount, count int64 = -1, -1
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		switch {
+		case strings.HasPrefix(line, "emvia_lat_bucket{le=\"+Inf\"}"):
+			fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &infCount)
+		case strings.HasPrefix(line, "emvia_lat_bucket"):
+			var c int64
+			fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &c)
+			if c < last {
+				t.Errorf("bucket counts not cumulative: %q after %d", line, last)
+			}
+			last = c
+		case strings.HasPrefix(line, "emvia_lat_count"):
+			fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &count)
+		}
+	}
+	if count != int64(len(obs)) || infCount != count {
+		t.Errorf("count %d, le=+Inf %d, want both %d", count, infCount, len(obs))
+	}
+}
+
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter(`evil{stage=a"b\c` + "\n" + `d}`).Inc()
+	out := expose(t, r)
+	validateExposition(t, out)
+	want := `emvia_evil_total{stage="a\"b\\c\nd"} 1`
+	if !strings.Contains(string(out), want+"\n") {
+		t.Errorf("escaped label missing: want %q in:\n%s", want, out)
+	}
+}
+
+func TestWritePrometheusCollisions(t *testing.T) {
+	r := New()
+	// Counter claims emvia_x_total; a gauge literally named x_total must
+	// not duplicate it. A gauge named h_count must not shadow histogram
+	// h's _count member (gauges reserve before histograms).
+	r.Counter("x").Inc()
+	r.Gauge("x_total").Set(9)
+	r.Gauge("h_count").Set(9)
+	r.Histogram("h").Observe(1)
+	out := expose(t, r)
+	validateExposition(t, out)
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry: err %v, %d bytes", err, buf.Len())
+	}
+}
+
+// FuzzWritePrometheus throws arbitrary metric names, label fragments and
+// values (including NaN/±Inf bit patterns) at the writer and asserts the
+// output always parses as a valid exposition with finite values — the
+// satellite contract: label escaping, NaN/Inf and empty histograms never
+// panic or emit invalid lines.
+func FuzzWritePrometheus(f *testing.F) {
+	f.Add("serve.jobs.submitted", "stage", "mc", 1.5)
+	f.Add("", "", "", math.NaN())
+	f.Add("9starts.with.digit", "le", "+Inf", math.Inf(1))
+	f.Add("a{b=c,d=e}", "__name__", "x\"y\\z\nw", -0.0)
+	f.Add("weird{unterminated", "k=v", "}", 1e308)
+	f.Add("dots.and-dashes.and spaces", "ключ", "значение", math.Inf(-1))
+	f.Fuzz(func(t *testing.T, name, lkey, lval string, v float64) {
+		r := New()
+		r.Counter(name).Add(3)
+		r.Counter(name + "{" + lkey + "=" + lval + "}").Inc()
+		r.Gauge(name).Set(v)
+		r.Gauge("g{" + lkey + "=" + lval + "," + lkey + "=other}").Set(v)
+		h := r.Histogram(name + "{" + lkey + "=" + lval + "}")
+		h.Observe(v)
+		h.Observe(-v)
+		r.Histogram("empty{" + lkey + "=" + lval + "}")
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		validateExposition(t, buf.Bytes())
+	})
+}
+
+func TestPromValue(t *testing.T) {
+	cases := map[float64]string{
+		0:            "0",
+		1.5:          "1.5",
+		math.NaN():   "0",
+		math.Inf(1):  "0",
+		math.Inf(-1): "0",
+	}
+	for in, want := range cases {
+		if got := promValue(in); got != want {
+			t.Errorf("promValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promValue(1e-12); got != strconv.FormatFloat(1e-12, 'g', -1, 64) {
+		t.Errorf("promValue(1e-12) = %q", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 // rates (throughput, utilization, hit rates) a report reader actually wants.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Derived    map[string]float64           `json:"derived,omitempty"`
 }
@@ -20,6 +21,7 @@ type Snapshot struct {
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
 		Histograms: make(map[string]HistogramSnapshot),
 		Derived:    make(map[string]float64),
 	}
@@ -28,6 +30,10 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	r.counters.Range(func(k, v any) bool {
 		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = v.(*Gauge).Value()
 		return true
 	})
 	r.hists.Range(func(k, v any) bool {
@@ -72,6 +78,12 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		fmt.Fprintln(w, "counters:")
 		for _, k := range sortedKeys(s.Counters) {
 			fmt.Fprintf(w, "  %-40s %12d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "  %-40s %12.4g\n", k, s.Gauges[k])
 		}
 	}
 	if len(s.Histograms) > 0 {

@@ -26,10 +26,12 @@ import (
 	"sync/atomic"
 )
 
-// Registry is a named collection of counters and histograms. The zero value
-// is not useful; use New. A nil *Registry is valid and hands out nil sinks.
+// Registry is a named collection of counters, gauges and histograms. The
+// zero value is not useful; use New. A nil *Registry is valid and hands out
+// nil sinks.
 type Registry struct {
 	counters sync.Map // string → *Counter
+	gauges   sync.Map // string → *Gauge
 	hists    sync.Map // string → *Histogram
 
 	progress atomic.Pointer[progressSink]
@@ -50,6 +52,19 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	c, _ := r.counters.LoadOrStore(name, new(Counter))
 	return c.(*Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// A nil registry returns a nil gauge, whose methods are no-ops.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges.Load(name); ok {
+		return g.(*Gauge)
+	}
+	g, _ := r.gauges.LoadOrStore(name, new(Gauge))
+	return g.(*Gauge)
 }
 
 // Histogram returns the histogram registered under name, creating it on

@@ -105,6 +105,24 @@ func (r *Ring) Last() (TrialSummary, bool) {
 	return r.entries[(r.next-1+len(r.entries))%len(r.entries)], true
 }
 
+// Occupancy returns how many summaries the ring currently retains.
+func (r *Ring) Occupancy() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.filled
+}
+
+// Cap returns the ring's capacity (how many summaries it can retain).
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.entries)
+}
+
 // Snapshot returns the retained summaries, oldest first.
 func (r *Ring) Snapshot() []TrialSummary {
 	if r == nil {

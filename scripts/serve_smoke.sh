@@ -4,8 +4,10 @@
 # Builds cmd/emserve with the race detector, boots it on an ephemeral port,
 # submits one tiny synthetic-grid Monte-Carlo job over HTTP, polls it to
 # completion, fetches and sanity-checks the content-addressed result
-# manifest, and finally drains the server with SIGTERM (the process must
-# exit 0 on its own — that is the graceful-drain contract).
+# manifest, scrapes /metrics and the per-job stage timeline, checks the run
+# ledger and renders it through `emtrace ledger`, and finally drains the
+# server with SIGTERM (the process must exit 0 on its own — that is the
+# graceful-drain contract).
 #
 # Usage: sh scripts/serve_smoke.sh [artifact-dir]
 set -eu
@@ -64,8 +66,49 @@ grep -q '"content_hash"' "$OUT/manifest.json"
 grep -q '"material_hash"' "$OUT/manifest.json"
 grep -q '"percentiles_years"' "$OUT/manifest.json"
 
+# Stage timeline: the mc pipeline must report its full span set.
+curl -sS "http://$ADDR/v1/jobs/$ID/timeline" >"$OUT/timeline.json"
+for STAGE in admit queue-wait resolve compile factorize mc manifest; do
+    grep -q "\"stage\": *\"$STAGE\"" "$OUT/timeline.json" || {
+        echo "serve_smoke: timeline missing stage '$STAGE'" >&2
+        cat "$OUT/timeline.json" >&2
+        exit 1
+    }
+done
+
+# Prometheus exposition: scrape and grep-lint it (no promtool in CI).
+# Every non-comment line must be "name{labels} value"; counters, stage
+# histograms and the ring gauges must be present; no non-finite values.
+curl -sS "http://$ADDR/metrics" >"$OUT/metrics.prom"
+grep -q '^emvia_serve_jobs_submitted_total 1$' "$OUT/metrics.prom"
+grep -q '^emvia_serve_stage_seconds_bucket{stage="mc",le="+Inf"} 1$' "$OUT/metrics.prom"
+grep -q '^emvia_trace_ring_capacity ' "$OUT/metrics.prom"
+grep -q '^# TYPE emvia_serve_stage_seconds histogram$' "$OUT/metrics.prom"
+if grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9][0-9eE.+-]*)$' "$OUT/metrics.prom"; then
+    echo "serve_smoke: malformed exposition line(s) above" >&2
+    exit 1
+fi
+if grep -E ' (NaN|[+-]?Inf)$' "$OUT/metrics.prom"; then
+    echo "serve_smoke: non-finite value leaked into /metrics" >&2
+    exit 1
+fi
+
 # Graceful drain: SIGTERM, then the process must exit 0 on its own.
 kill -TERM "$PID"
 wait "$PID"
 trap - EXIT
+
+# Run ledger: the drained server must have recorded the job, and
+# `emtrace ledger` must render a report over it.
+LEDGER="$OUT/results/ledger.jsonl"
+if [ ! -s "$LEDGER" ]; then
+    echo "serve_smoke: run ledger missing or empty at $LEDGER" >&2
+    exit 1
+fi
+grep -q '"outcome":"done"' "$LEDGER"
+go build -o "$OUT/emtrace" ./cmd/emtrace
+"$OUT/emtrace" ledger "$LEDGER" >"$OUT/ledger-report.txt"
+grep -q 'run ledger: 1 records' "$OUT/ledger-report.txt"
+grep -q 'stage breakdown' "$OUT/ledger-report.txt"
+
 echo "serve_smoke: OK ($(wc -c <"$OUT/manifest.json") byte manifest in $OUT/manifest.json)"
