@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"testing"
 
 	"emvia/internal/baseline"
@@ -719,4 +720,109 @@ func BenchmarkGridMCScreened(b *testing.B) {
 		}
 		b.ReportMetric(100*screen.MortalViaFraction(), "%mortal")
 	})
+}
+
+// BenchmarkGridMCSharded measures the distributed-sharding payoff on the
+// nx200 Monte-Carlo phase: the job's 50-trial range split into 1/2/4
+// contiguous shards run by concurrent local shard workers (mc
+// Options.FirstTrial), exactly as serve's local executor pool dispatches
+// them. shards=1 is the single-process baseline. Because trial t always
+// seeds from trialSeed(seed, t) regardless of which shard runs it, every
+// variant reassembles the identical TTF vector — asserted each iteration —
+// so the sub-benchmarks differ only in wall clock. The speedup requires
+// spare cores: on a single-CPU host the shard workers serialize and the
+// variants measure sharding overhead instead.
+func BenchmarkGridMCSharded(b *testing.B) {
+	spec := pdn.PG1Spec()
+	spec.NX, spec.NY = 200, 200
+	spec.PadPeriod = 3
+	g, err := pdn.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const refViaAmps = 0.01
+	if err := g.Tune(0.010, refViaAmps); err != nil {
+		b.Fatal(err)
+	}
+	mk := func(medYears float64) viaarray.TTFModel {
+		return viaarray.TTFModel{
+			Dist:       stat.LogNormal{Mu: math.Log(phys.YearsToSeconds(medYears)), Sigma: 0.35},
+			RefCurrent: refViaAmps,
+			FailK:      16,
+		}
+	}
+	cfg := pdn.TTFConfig{
+		Grid: g,
+		Models: map[cudd.Pattern]viaarray.TTFModel{
+			cudd.Plus:   mk(6),
+			cudd.TShape: mk(7),
+			cudd.LShape: mk(8),
+		},
+		Criterion: pdn.WeakestLink,
+	}
+	const trials = 50
+	opt := mc.Options{Trials: trials, Seed: 9}
+
+	// The single-process reference TTF vector every sharded variant must
+	// reproduce bit for bit.
+	refSys, err := pdn.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refRes, err := mc.Run(refSys, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			// One engine per shard worker, built outside the timed region —
+			// the fleet analogue is each worker process holding its own grid.
+			systems := make([]*pdn.GridSystem, shards)
+			for s := range systems {
+				if systems[s], err = pdn.NewSystem(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q, r := trials/shards, trials%shards
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ttf := make([]float64, trials)
+				var wg sync.WaitGroup
+				errs := make([]error, shards)
+				start := 0
+				for s := 0; s < shards; s++ {
+					count := q
+					if s < r {
+						count++
+					}
+					wg.Add(1)
+					go func(s, start, count int) {
+						defer wg.Done()
+						o := opt
+						o.FirstTrial = start
+						o.Trials = count
+						res, err := mc.Run(systems[s], o)
+						if err != nil {
+							errs[s] = err
+							return
+						}
+						copy(ttf[start:start+count], res.TTF)
+					}(s, start, count)
+					start += count
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for t, v := range ttf {
+					if v != refRes.TTF[t] {
+						b.Fatalf("shards=%d trial %d: TTF %g, single-process %g", shards, t, v, refRes.TTF[t])
+					}
+				}
+			}
+		})
+	}
 }

@@ -58,8 +58,16 @@ func ledgerReport(w io.Writer, recs []serve.LedgerRecord, skipped, top int) {
 	var queueWaits, walls []float64
 	stageSum := make(map[string]float64)
 	stageCnt := make(map[string]int)
+	shardedJobs, totalShards, reissued := 0, 0, 0
+	mergeTotal := 0.0
 	var tMin, tMax time.Time
 	for _, r := range recs {
+		if r.Shards > 1 {
+			shardedJobs++
+			totalShards += r.Shards
+			reissued += r.ShardsReissued
+			mergeTotal += r.MergeSeconds
+		}
 		outcomes[r.Outcome]++
 		if r.Dedup != "" {
 			dedup++
@@ -100,6 +108,10 @@ func ledgerReport(w io.Writer, recs []serve.LedgerRecord, skipped, top int) {
 		dedup, len(recs), 100*float64(dedup)/float64(len(recs)))
 	if trialsTotal > 0 {
 		fmt.Fprintf(w, "trials: %d/%d completed\n", trialsDone, trialsTotal)
+	}
+	if shardedJobs > 0 {
+		fmt.Fprintf(w, "sharding: %d jobs sharded, %.3g shards/job, %d reissued, merge %.4gs total\n",
+			shardedJobs, float64(totalShards)/float64(shardedJobs), reissued, mergeTotal)
 	}
 	if !tMin.IsZero() && tMax.After(tMin) {
 		span := tMax.Sub(tMin).Seconds()

@@ -151,7 +151,8 @@ func syntheticLedger(t *testing.T) string {
 			ID: "job-1", ContentHash: "aaa", Engine: "mc", Outcome: "done",
 			Attempts: 1, TrialsDone: 64, TrialsTotal: 64,
 			QueueWaitSeconds: 0.01, WallSeconds: 1.5,
-			StageSeconds: map[string]float64{"mc": 1.2, "factorize": 0.2, "manifest": 0.05},
+			Shards: 4, ShardsReissued: 1, MergeSeconds: 0.02,
+			StageSeconds: map[string]float64{"mc": 1.2, "factorize": 0.2, "manifest": 0.05, "merge": 0.02},
 		},
 		{
 			Schema: serve.LedgerSchemaVersion, Time: "2026-08-08T10:00:05Z",
@@ -190,6 +191,7 @@ func TestLedgerSubcommand(t *testing.T) {
 		"failed=1",
 		"dedup rate: 1/3",
 		"trials: 128/128 completed",
+		"sharding: 1 jobs sharded, 4 shards/job, 1 reissued, merge 0.02s total",
 		"throughput: 3 jobs",
 		"queue-wait",
 		"wall-clock",

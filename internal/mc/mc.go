@@ -108,6 +108,15 @@ type Options struct {
 	// Seed makes the run reproducible; trial t derives its own generator
 	// from Seed and t, so results do not depend on scheduling.
 	Seed int64
+	// FirstTrial offsets the run into a larger trial sequence: the run
+	// executes trials [FirstTrial, FirstTrial+Trials) of the sequence seeded
+	// by Seed, with local result index i holding global trial FirstTrial+i.
+	// Because trial t always derives its generator from trialSeed(Seed, t)
+	// regardless of which run executes it, a set of runs whose ranges tile
+	// [0, N) reproduces, trial for trial, exactly the bits a single
+	// [0, N) run would — the contract distributed shard execution merges on.
+	// 0 (the default) is the whole-range run.
+	FirstTrial int
 	// RunToCompletion keeps failing components after the system criterion
 	// fires, recording every failure event. Used by via-array
 	// characterization, which extracts all n_F criteria from one run.
@@ -159,6 +168,9 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("mc: Workers must be ≥ 0 (0 = one per CPU), got %d", o.Workers)
+	}
+	if o.FirstTrial < 0 {
+		return fmt.Errorf("mc: FirstTrial must be ≥ 0, got %d", o.FirstTrial)
 	}
 	switch o.Solver {
 	case "", "default", "auto", "dense", "sparse", "cg":
@@ -230,12 +242,13 @@ func (o Options) groupSize() int {
 	return o.BatchTrials
 }
 
-// prepareGroup hands the seeds of trials [g0, g1) to a preparer system.
-// seeds is the caller's scratch buffer, returned grown.
+// prepareGroup hands the seeds of local trials [g0, g1) to a preparer
+// system (global indices shifted by FirstTrial). seeds is the caller's
+// scratch buffer, returned grown.
 func prepareGroup(p TrialPreparer, opt Options, g0, g1 int, seeds []int64) ([]int64, error) {
 	seeds = seeds[:0]
 	for t := g0; t < g1; t++ {
-		seeds = append(seeds, trialSeed(opt.Seed, t))
+		seeds = append(seeds, trialSeed(opt.Seed, opt.FirstTrial+t))
 	}
 	if err := p.PrepareTrials(seeds); err != nil {
 		return seeds, fmt.Errorf("mc: preparing trials %d..%d: %w", g0, g1-1, err)
@@ -401,7 +414,7 @@ func RunCtx(ctx context.Context, sys System, opt Options) (*Result, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("mc: canceled after %d of %d trials: %w", t, opt.Trials, err)
 			}
-			rng.Seed(trialSeed(opt.Seed, t))
+			rng.Seed(trialSeed(opt.Seed, opt.FirstTrial+t))
 			ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, idxs, &scratch, &met, run.Trial(t), labeler)
 			if err != nil {
 				return nil, fmt.Errorf("mc: trial %d: %w", t, err)
@@ -515,7 +528,7 @@ func RunParallelCtx(ctx context.Context, newSys func() (System, error), opt Opti
 						fail(fmt.Errorf("mc: canceled at trial %d of %d: %w", t, opt.Trials, err))
 						return
 					}
-					rng.Seed(trialSeed(opt.Seed, t))
+					rng.Seed(trialSeed(opt.Seed, opt.FirstTrial+t))
 					ttf, events, comps, err := runTrial(sys, rng, opt.RunToCompletion, idxs, &scratch, &met, run.Trial(t), labeler)
 					if err != nil {
 						fail(fmt.Errorf("mc: trial %d: %w", t, err))

@@ -1,0 +1,113 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sampledSystem draws every component TTF from the trial generator, so its
+// results depend entirely on the per-trial seeding — the property the
+// FirstTrial offset must preserve bit for bit.
+type sampledSystem struct {
+	n     int
+	critK int
+
+	ttfs        []float64
+	failedCount int
+}
+
+func (s *sampledSystem) NumComponents() int { return s.n }
+
+func (s *sampledSystem) BeginTrial(rng *rand.Rand) error {
+	s.failedCount = 0
+	if s.ttfs == nil {
+		s.ttfs = make([]float64, s.n)
+	}
+	for i := range s.ttfs {
+		s.ttfs[i] = rng.ExpFloat64() * 1e7
+	}
+	return nil
+}
+
+func (s *sampledSystem) BaseTTF(i int) float64   { return s.ttfs[i] }
+func (s *sampledSystem) AgingRate(i int) float64 { return 1 + float64(s.failedCount) }
+func (s *sampledSystem) Fail(i int) error        { s.failedCount++; return nil }
+func (s *sampledSystem) Failed() (bool, error)   { return s.failedCount >= s.critK, nil }
+
+// TestFirstTrialShardsBitIdentical pins the distributed-sharding contract:
+// runs whose [FirstTrial, FirstTrial+Trials) ranges tile [0, N) reproduce,
+// trial for trial, exactly the full-range run — including uneven shard
+// sizes that break the batch-group alignment.
+func TestFirstTrialShardsBitIdentical(t *testing.T) {
+	const trials = 37
+	opt := Options{Trials: trials, Seed: 99}
+	full, err := Run(&sampledSystem{n: 8, critK: 3}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bounds := range [][]int{
+		{0, trials},
+		{0, 19, trials},
+		{0, 7, 8, 23, trials}, // deliberately uneven, mid-batch-group cuts
+	} {
+		for s := 0; s+1 < len(bounds); s++ {
+			start, end := bounds[s], bounds[s+1]
+			shard, err := Run(&sampledSystem{n: 8, critK: 3}, Options{
+				Trials: end - start, Seed: 99, FirstTrial: start,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < end-start; i++ {
+				g := start + i
+				if shard.TTF[i] != full.TTF[g] {
+					t.Fatalf("shard [%d,%d) trial %d: TTF %g != full %g",
+						start, end, g, shard.TTF[i], full.TTF[g])
+				}
+				if len(shard.Events[i]) != len(full.Events[g]) {
+					t.Fatalf("shard [%d,%d) trial %d: %d events != full %d",
+						start, end, g, len(shard.Events[i]), len(full.Events[g]))
+				}
+				for j := range shard.Events[i] {
+					if shard.Events[i][j] != full.Events[g][j] ||
+						shard.EventComps[i][j] != full.EventComps[g][j] {
+						t.Fatalf("shard [%d,%d) trial %d event %d diverges", start, end, g, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFirstTrialParallelMatchesSerial checks the offset under the parallel
+// dispatcher at several worker counts.
+func TestFirstTrialParallelMatchesSerial(t *testing.T) {
+	opt := Options{Trials: 21, Seed: 7, FirstTrial: 13}
+	serial, err := Run(&sampledSystem{n: 6, critK: 2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		popt := opt
+		popt.Workers = w
+		par, err := RunParallel(func() (System, error) {
+			return &sampledSystem{n: 6, critK: 2}, nil
+		}, popt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.TTF {
+			if par.TTF[i] != serial.TTF[i] {
+				t.Fatalf("workers=%d trial %d: %g != %g", w, i, par.TTF[i], serial.TTF[i])
+			}
+		}
+	}
+}
+
+func TestValidateRejectsNegativeFirstTrial(t *testing.T) {
+	err := Options{Trials: 1, FirstTrial: -1}.Validate()
+	if err == nil {
+		t.Fatal("negative FirstTrial validated")
+	}
+}

@@ -654,9 +654,12 @@ func AnalyzeTTF(cfg TTFConfig, trials int, seed int64) (*mc.Result, error) {
 
 // AnalyzeTTFCtx is AnalyzeTTF with cancellation and a caller-supplied option
 // base: Workers (the per-job worker budget of the analysis service),
-// BatchTrials and TraceLabel are honored; Trials, Seed, Solver and the
-// criterion trace label are filled in here. Results are bit-identical for
-// any worker budget thanks to mc's per-trial seed splitting.
+// BatchTrials, TraceLabel and FirstTrial (the trial-range offset of a
+// distributed shard — trial t always derives its generator from
+// trialSeed(seed, t) whichever shard runs it) are honored; Trials, Seed,
+// Solver and the criterion trace label are filled in here. Results are
+// bit-identical for any worker budget and any shard partition thanks to
+// mc's per-trial seed splitting.
 func AnalyzeTTFCtx(ctx context.Context, cfg TTFConfig, trials int, seed int64, base mc.Options) (*mc.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -57,6 +57,15 @@ type Job struct {
 	started     time.Time
 	finished    time.Time
 	manifest    []byte // canonical result manifest (StateDone)
+
+	// Shard bookkeeping (sharded dispatch only): how many trial-range
+	// shards the job split into, how many dispatches were re-issued after
+	// a worker failure or timeout, and a monotone count of trials covered
+	// by completed shards (progress for remote shards, whose trials never
+	// tick this process's trace ring).
+	shards        int
+	shardReissues int
+	shardTrials   int64
 }
 
 // newJob builds a queued job.
@@ -81,16 +90,18 @@ func (j *Job) TraceLabel() string { return "job:" + j.ID }
 
 // Status is a point-in-time copy of the mutable job fields.
 type Status struct {
-	ID          string
-	Hash        string
-	State       State
-	Err         string
-	Attempts    int
-	TrialsDone  int64
-	TrialsTotal int64
-	Created     time.Time
-	Started     time.Time
-	Finished    time.Time
+	ID            string
+	Hash          string
+	State         State
+	Err           string
+	Attempts      int
+	TrialsDone    int64
+	TrialsTotal   int64
+	Shards        int
+	ShardReissues int
+	Created       time.Time
+	Started       time.Time
+	Finished      time.Time
 }
 
 // Status snapshots the job.
@@ -98,17 +109,49 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Status{
-		ID:          j.ID,
-		Hash:        j.Hash,
-		State:       j.state,
-		Err:         j.err,
-		Attempts:    j.attempts,
-		TrialsDone:  j.trialsDone,
-		TrialsTotal: j.trialsTotal,
-		Created:     j.created,
-		Started:     j.started,
-		Finished:    j.finished,
+		ID:            j.ID,
+		Hash:          j.Hash,
+		State:         j.state,
+		Err:           j.err,
+		Attempts:      j.attempts,
+		TrialsDone:    j.trialsDone,
+		TrialsTotal:   j.trialsTotal,
+		Shards:        j.shards,
+		ShardReissues: j.shardReissues,
+		Created:       j.created,
+		Started:       j.started,
+		Finished:      j.finished,
 	}
+}
+
+// noteShards records the job's shard count (once per execution attempt; a
+// retried attempt re-records the same partition).
+func (j *Job) noteShards(n int) {
+	j.mu.Lock()
+	j.shards = n
+	j.mu.Unlock()
+}
+
+// noteShardReissue counts one shard dispatch re-issued after a worker
+// failure or timeout.
+func (j *Job) noteShardReissue() {
+	j.mu.Lock()
+	j.shardReissues++
+	j.mu.Unlock()
+}
+
+// addShardTrials advances the shard-completed trial counter.
+func (j *Job) addShardTrials(n int64) {
+	j.mu.Lock()
+	j.shardTrials += n
+	j.mu.Unlock()
+}
+
+// shardTrialsDone reads the shard-completed trial counter.
+func (j *Job) shardTrialsDone() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.shardTrials
 }
 
 // Manifest returns the canonical result bytes, nil unless StateDone.
@@ -178,6 +221,7 @@ type store struct {
 	jobs     map[string]*Job
 	inflight map[string]*Job   // queued/running job per hash
 	results  map[string][]byte // completed manifests per hash
+	partials map[string][]byte // encoded partial manifests per partialKey
 	nextID   int
 	dir      string // "" = memory only
 }
@@ -187,6 +231,7 @@ func newStore(dir string) *store {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		results:  make(map[string][]byte),
+		partials: make(map[string][]byte),
 		dir:      dir,
 	}
 }
@@ -251,6 +296,71 @@ func (st *store) saveResult(hash string, manifest []byte) error {
 	if err := os.Rename(tmp.Name(), st.resultPath(hash)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("serve: publishing result: %w", err)
+	}
+	return nil
+}
+
+// partialPathFor is the on-disk address of a partial manifest: the spec
+// hash plus the trial range it covers.
+func (st *store) partialPathFor(hash string, start, count int) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s.part-%d+%d.json", hash, start, count))
+}
+
+// lookupPartial consults the content-addressed partial cache — memory
+// first, then the persistent directory. Corrupt or unreadable files are
+// misses.
+func (st *store) lookupPartial(hash string, start, count int) ([]byte, bool) {
+	key := partialKey(hash, start, count)
+	st.mu.Lock()
+	if buf, ok := st.partials[key]; ok {
+		st.mu.Unlock()
+		return buf, true
+	}
+	dir := st.dir
+	st.mu.Unlock()
+	if dir == "" {
+		return nil, false
+	}
+	buf, err := os.ReadFile(st.partialPathFor(hash, start, count))
+	if err != nil || len(buf) == 0 {
+		return nil, false
+	}
+	st.mu.Lock()
+	st.partials[key] = buf
+	st.mu.Unlock()
+	return buf, true
+}
+
+// savePartial records an encoded partial manifest in memory and, when
+// configured, on disk (atomic write-then-rename like saveResult).
+func (st *store) savePartial(hash string, start, count int, buf []byte) error {
+	key := partialKey(hash, start, count)
+	st.mu.Lock()
+	st.partials[key] = buf
+	dir := st.dir
+	st.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: partial dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+hash+".part.tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: partial temp: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: writing partial: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: closing partial: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.partialPathFor(hash, start, count)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: publishing partial: %w", err)
 	}
 	return nil
 }

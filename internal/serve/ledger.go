@@ -40,6 +40,14 @@ type LedgerRecord struct {
 	QueueWaitSeconds float64            `json:"queue_wait_seconds"`
 	WallSeconds      float64            `json:"wall_seconds"`
 	StageSeconds     map[string]float64 `json:"stage_seconds,omitempty"`
+	// Shards, ShardsReissued and MergeSeconds describe sharded dispatch:
+	// how many trial-range shards the job split into, how many dispatches
+	// were re-issued after worker failures or timeouts, and the wall time
+	// of the partial-manifest merge. All zero (and omitted) for unsharded
+	// jobs.
+	Shards         int     `json:"shards,omitempty"`
+	ShardsReissued int     `json:"shards_reissued,omitempty"`
+	MergeSeconds   float64 `json:"merge_seconds,omitempty"`
 }
 
 // Ledger appends job records to a JSONL file. A nil *Ledger is a valid

@@ -90,7 +90,7 @@ func buildManifest(hash string, resolved *JobSpec, out *runOutput) (*ResultManif
 		Engine:        resolved.Engine,
 		Solver:        out.solver,
 		Spec:          resolved,
-		Screen:        screenInfo(out.screen),
+		Screen:        out.screen,
 	}
 	if res := out.mcResult; res != nil {
 		m.Trials = len(res.TTF)
@@ -127,9 +127,11 @@ func (m *ResultManifest) Encode() ([]byte, error) {
 	return append(buf, '\n'), nil
 }
 
-// runOutput is what one engine execution produces, pre-manifest.
+// runOutput is what one engine execution produces, pre-manifest. The screen
+// is carried in its digested manifest form so a merged shard output and a
+// fresh single-process run flow through buildManifest identically.
 type runOutput struct {
-	screen       *pdn.GridScreen
+	screen       *trace.ScreenInfo
 	mcResult     *mc.Result
 	solver       string
 	materialHash string

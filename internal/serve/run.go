@@ -117,11 +117,22 @@ func buildModels(spec *JobSpec, g *pdn.Grid) (map[cudd.Pattern]viaarray.TTFModel
 	return out, nil
 }
 
+// RunOptions parameterizes one Runner execution: the per-job Monte-Carlo
+// worker budget, the trace-run label that keys the job's progress and SSE
+// cascade stream, and — for distributed shard execution — the trial range
+// this run covers. A zero TrialCount selects the spec's full trial range;
+// a positive one runs global trials [TrialStart, TrialStart+TrialCount),
+// bit-identical to the same slice of a full-range run.
+type RunOptions struct {
+	Workers    int
+	Label      string
+	TrialStart int
+	TrialCount int
+}
+
 // runSpec executes one resolved job spec: the default Runner. The context
-// bounds the Monte Carlo (grid build and screening are single solves);
-// workers is the per-job worker budget and label the trace-run name that
-// keys the job's progress and SSE cascade stream.
-func runSpec(ctx context.Context, spec *JobSpec, workers int, label string) (*runOutput, error) {
+// bounds the Monte Carlo (grid build and screening are single solves).
+func runSpec(ctx context.Context, spec *JobSpec, ro RunOptions) (*runOutput, error) {
 	tl := trace.TimelineFrom(ctx)
 	endResolve := tl.Stage("resolve")
 	g, err := buildGrid(spec)
@@ -136,7 +147,7 @@ func runSpec(ctx context.Context, spec *JobSpec, workers int, label string) (*ru
 		if err != nil {
 			return nil, err
 		}
-		out.screen = screen
+		out.screen = screenInfo(screen)
 		return out, nil
 	}
 	models, err := buildModels(spec, g)
@@ -152,16 +163,25 @@ func runSpec(ctx context.Context, spec *JobSpec, workers int, label string) (*ru
 		cfg.Criterion = pdn.IRDrop
 		cfg.IRDropFrac = spec.IRFrac
 	}
-	base := mc.Options{Workers: workers, TraceLabel: label, Engine: spec.Engine}
+	trials := spec.Trials
+	base := mc.Options{Workers: ro.Workers, TraceLabel: ro.Label, Engine: spec.Engine}
+	if ro.TrialCount > 0 {
+		if ro.TrialStart < 0 || ro.TrialStart+ro.TrialCount > spec.Trials {
+			return nil, fmt.Errorf("serve: trial range [%d,%d) outside the spec's [0,%d)",
+				ro.TrialStart, ro.TrialStart+ro.TrialCount, spec.Trials)
+		}
+		base.FirstTrial = ro.TrialStart
+		trials = ro.TrialCount
+	}
 	if spec.Engine == mc.EngineBoth {
-		res, screen, err := pdn.AnalyzeTTFScreenedCtx(ctx, cfg, spec.Trials, spec.Seed, pdn.ScreenConfig{}, base)
+		res, screen, err := pdn.AnalyzeTTFScreenedCtx(ctx, cfg, trials, spec.Seed, pdn.ScreenConfig{}, base)
 		if err != nil {
 			return nil, err
 		}
-		out.mcResult, out.screen = res, screen
+		out.mcResult, out.screen = res, screenInfo(screen)
 	} else {
 		base.Engine = mc.EngineMC
-		res, err := pdn.AnalyzeTTFCtx(ctx, cfg, spec.Trials, spec.Seed, base)
+		res, err := pdn.AnalyzeTTFCtx(ctx, cfg, trials, spec.Seed, base)
 		if err != nil {
 			return nil, err
 		}

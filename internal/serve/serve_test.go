@@ -226,8 +226,8 @@ func TestManifestWorkerInvariance(t *testing.T) {
 // gatedRunner returns a stub Runner that signals each start and blocks
 // until released (or its context ends).
 func gatedRunner(started chan<- string, release <-chan struct{}) Runner {
-	return func(ctx context.Context, spec *JobSpec, workers int, label string) (*runOutput, error) {
-		started <- label
+	return func(ctx context.Context, spec *JobSpec, opts RunOptions) (*runOutput, error) {
+		started <- opts.Label
 		select {
 		case <-release:
 			return &runOutput{materialHash: "test", solver: "stub"}, nil
@@ -309,10 +309,10 @@ func TestQueueFull(t *testing.T) {
 // deadline_exceeded, its result endpoint answers 504, and the status
 // endpoint reports the partial trial progress observed before the cut.
 func TestJobDeadline(t *testing.T) {
-	runner := func(ctx context.Context, spec *JobSpec, workers int, label string) (*runOutput, error) {
+	runner := func(ctx context.Context, spec *JobSpec, opts RunOptions) (*runOutput, error) {
 		// Complete three trials through the real tracer (they land in the
 		// ring exactly like engine trials), then hang until the deadline.
-		run := trace.Default().BeginRun(label, 3)
+		run := trace.Default().BeginRun(opts.Label, 3)
 		for i := 0; i < 3; i++ {
 			tr := run.Trial(i)
 			tr.Begin(1)
@@ -350,7 +350,7 @@ func TestJobDeadline(t *testing.T) {
 // and retry counter agree.
 func TestRetryTransient(t *testing.T) {
 	calls := 0
-	runner := func(ctx context.Context, spec *JobSpec, workers int, label string) (*runOutput, error) {
+	runner := func(ctx context.Context, spec *JobSpec, opts RunOptions) (*runOutput, error) {
 		calls++
 		if calls <= 2 {
 			return nil, &Transient{Err: errors.New("flaky backend")}
@@ -381,7 +381,7 @@ func TestRetryTransient(t *testing.T) {
 // TestRetryExhaustion: a persistently Transient job fails after the
 // attempt bound instead of retrying forever.
 func TestRetryExhaustion(t *testing.T) {
-	runner := func(ctx context.Context, spec *JobSpec, workers int, label string) (*runOutput, error) {
+	runner := func(ctx context.Context, spec *JobSpec, opts RunOptions) (*runOutput, error) {
 		return nil, &Transient{Err: errors.New("still flaky")}
 	}
 	_, ts := newTestServer(t, Config{Runner: runner, MaxAttempts: 2, RetryBackoff: time.Millisecond})

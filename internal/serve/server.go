@@ -23,8 +23,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -34,8 +36,11 @@ import (
 
 // Runner executes one resolved spec under a context bound. It exists as a
 // seam for tests (fault injection, latency shaping); the zero value of
-// Config selects the real engine path (runSpec).
-type Runner func(ctx context.Context, spec *JobSpec, workers int, label string) (*runOutput, error)
+// Config selects the real engine path (runSpec). A Runner must honor
+// RunOptions' trial range — a sharded dispatch hands every Runner a slice
+// of the job's [0, N) trial sequence and merges on the bit-identity of the
+// per-trial seeding.
+type Runner func(ctx context.Context, spec *JobSpec, opts RunOptions) (*runOutput, error)
 
 // Config parameterizes a Server. The zero value is usable: every field
 // has a working default.
@@ -63,6 +68,31 @@ type Config struct {
 	// that file. Empty selects <ResultDir>/ledger.jsonl when ResultDir is
 	// set, otherwise no ledger. "-" disables the ledger explicitly.
 	LedgerPath string
+	// Shards splits every Monte-Carlo job's trial range into this many
+	// contiguous shards, dispatched to ShardWorkers (or a local executor
+	// pool when none are configured) and merged into the byte-identical
+	// single-process manifest. 0 or 1 disables sharding.
+	Shards int
+	// ShardWorkers lists worker emserve base URLs ("host:port" or full
+	// URLs) serving POST /v1/shards. Empty with Shards > 1 self-dispatches
+	// to a local executor pool of Shards concurrent shard runs.
+	ShardWorkers []string
+	// ShardSlots bounds concurrently executing /v1/shards requests on this
+	// process (the worker side of dispatch). 0 selects 2.
+	ShardSlots int
+	// ShardTimeout bounds one remote shard dispatch attempt; on expiry the
+	// shard is re-issued to the next worker (the straggler path). 0 selects
+	// 60s.
+	ShardTimeout time.Duration
+	// ShardAttempts bounds dispatch attempts per shard including the final
+	// always-local one, so attempts-1 workers are tried before the
+	// coordinator runs the shard itself. 0 selects 3.
+	ShardAttempts int
+	// AdvertiseURL is this coordinator's externally reachable base URL.
+	// When set it rides along on every shard dispatch so workers consult
+	// and populate the coordinator's partial cache over HTTP — the fleet's
+	// shared dedup domain. Empty disables worker-side cache replication.
+	AdvertiseURL string
 	// Runner overrides the engine execution path (tests only).
 	Runner Runner
 }
@@ -79,6 +109,11 @@ type Server struct {
 	mux    *http.ServeMux
 	runner Runner
 	ledger *Ledger
+	// shardSlots bounds concurrently served /v1/shards executions;
+	// shardClient carries every fleet-internal HTTP call (dispatch and
+	// partial-cache replication), per-request deadlines via context.
+	shardSlots  chan struct{}
+	shardClient *http.Client
 
 	mu       sync.Mutex
 	draining bool
@@ -106,13 +141,24 @@ func NewServer(cfg Config) *Server {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 50 * time.Millisecond
 	}
+	if cfg.ShardSlots <= 0 {
+		cfg.ShardSlots = 2
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 60 * time.Second
+	}
+	if cfg.ShardAttempts <= 0 {
+		cfg.ShardAttempts = 3
+	}
 	s := &Server{
-		cfg:     cfg,
-		store:   newStore(cfg.ResultDir),
-		queue:   make(chan *Job, cfg.QueueCap),
-		reg:     telemetry.Enable(),
-		runner:  cfg.Runner,
-		drained: make(chan struct{}),
+		cfg:         cfg,
+		store:       newStore(cfg.ResultDir),
+		queue:       make(chan *Job, cfg.QueueCap),
+		reg:         telemetry.Enable(),
+		runner:      cfg.Runner,
+		drained:     make(chan struct{}),
+		shardSlots:  make(chan struct{}, cfg.ShardSlots),
+		shardClient: &http.Client{},
 	}
 	if s.runner == nil {
 		s.runner = runSpec
@@ -137,6 +183,9 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
+	s.mux.HandleFunc("POST /v1/shards", s.handleShard)
+	s.mux.HandleFunc("GET /v1/partials/{hash}/{start}/{count}", s.handlePartialGet)
+	s.mux.HandleFunc("PUT /v1/partials/{hash}/{start}/{count}", s.handlePartialPut)
 	go s.executor()
 	return s
 }
@@ -251,9 +300,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// duplicate never enqueues and a submission never races queue close.
 	s.mu.Lock()
 	if s.draining {
+		// A draining server never accepts again: the useful hint is how long
+		// its remaining backlog will take to finish, after which the client's
+		// load balancer should have stopped routing here.
+		backlog := len(s.queue) + 1
 		s.mu.Unlock()
 		s.reg.Counter(telemetry.ServeRejectedDraining).Inc()
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfterHint(backlog))
 		s.writeError(w, http.StatusServiceUnavailable, "serve: draining, not accepting jobs")
 		return
 	}
@@ -277,9 +330,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.store.remove(job.ID)
 		s.mu.Unlock()
 		s.reg.Counter(telemetry.ServeRejectedFull).Inc()
-		w.Header().Set("Retry-After", "1")
+		// A queue slot frees when the sequential executor finishes the job
+		// it is running — about one recent per-job wall time from now.
+		w.Header().Set("Retry-After", s.retryAfterHint(1))
 		s.writeError(w, http.StatusTooManyRequests, "serve: job queue full")
 	}
+}
+
+// retryAfterBounds clamp the Retry-After hint: at least 1s (the header is
+// integer seconds and 0 would invite a busy-loop), at most 10 minutes (past
+// that the estimate says more about one pathological job than the queue).
+const (
+	retryAfterMin = 1
+	retryAfterMax = 600
+)
+
+// retryAfterHint derives a Retry-After value from the observed service
+// rate: the recent per-job wall time (median of the serve.job_seconds stage
+// histogram; 1s before any job has completed) times the number of jobs that
+// must finish before the client's next attempt can be admitted.
+func (s *Server) retryAfterHint(backlog int) string {
+	perJob := s.reg.Histogram(telemetry.ServeJobSeconds).Snapshot().P50
+	if perJob <= 0 {
+		perJob = 1
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	secs := int(math.Ceil(perJob * float64(backlog)))
+	if secs < retryAfterMin {
+		secs = retryAfterMin
+	}
+	if secs > retryAfterMax {
+		secs = retryAfterMax
+	}
+	return strconv.Itoa(secs)
 }
 
 // statusResponse is the GET /v1/jobs/{id} body.
@@ -400,7 +485,7 @@ func (s *Server) runJob(job *Job) {
 	for attempt := 1; ; attempt++ {
 		job.setRunning()
 		s.reg.Counter(telemetry.ServeSolves).Inc()
-		out, err = s.runner(ctx, job.Spec, s.cfg.JobWorkers, job.TraceLabel())
+		out, err = s.execute(ctx, job)
 		if err == nil {
 			break
 		}
@@ -496,6 +581,8 @@ func (s *Server) ledgerAppend(job *Job, dedup string) {
 	if st.Attempts > 1 {
 		rec.Retries = st.Attempts - 1
 	}
+	rec.Shards = st.Shards
+	rec.ShardsReissued = st.ShardReissues
 	if !st.Finished.IsZero() {
 		rec.WallSeconds = st.Finished.Sub(st.Created).Seconds()
 	}
@@ -503,8 +590,11 @@ func (s *Server) ledgerAppend(job *Job, dedup string) {
 		rec.StageSeconds = make(map[string]float64, len(spans))
 		for _, sp := range spans {
 			rec.StageSeconds[sp.Stage] += sp.DurationSeconds
-			if sp.Stage == "queue-wait" {
+			switch sp.Stage {
+			case "queue-wait":
 				rec.QueueWaitSeconds += sp.DurationSeconds
+			case "merge":
+				rec.MergeSeconds += sp.DurationSeconds
 			}
 		}
 	}
@@ -526,7 +616,13 @@ func (s *Server) trackProgress(job *Job, ringStart int64, done <-chan struct{}) 
 		case <-done:
 			return
 		case <-tick.C:
-			job.setProgress(s.ring.Total() - ringStart)
+			// Remote shards complete trials off this process's ring; take
+			// whichever counter has seen more (never both — max, not sum).
+			p := s.ring.Total() - ringStart
+			if sp := job.shardTrialsDone(); sp > p {
+				p = sp
+			}
+			job.setProgress(p)
 		}
 	}
 }

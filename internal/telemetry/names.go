@@ -88,6 +88,25 @@ const (
 	ServeLedgerRecords     = "serve.ledger.records"
 	ServeLedgerErrors      = "serve.ledger.errors"
 
+	// internal/serve — distributed trial sharding. Dispatched counts every
+	// shard dispatch attempt (first try and re-issues); RemoteRuns/LocalRuns
+	// split completed shards by where they executed; Reissues counts
+	// dispatches re-issued after a worker failure or timeout; CacheHits are
+	// shards answered from the content-addressed partial cache without any
+	// run; Errors counts failed dispatch attempts. Served/ServeSeconds
+	// instrument the worker side of POST /v1/shards; MergeSeconds and
+	// MergeErrors instrument the coordinator's partial-manifest merge.
+	ServeShardDispatched   = "serve.shard.dispatched"
+	ServeShardRemoteRuns   = "serve.shard.remote_runs"
+	ServeShardLocalRuns    = "serve.shard.local_runs"
+	ServeShardReissues     = "serve.shard.reissues"
+	ServeShardCacheHits    = "serve.shard.cache_hits"
+	ServeShardErrors       = "serve.shard.errors"
+	ServeShardServed       = "serve.shard.served"
+	ServeShardServeSeconds = "serve.shard.serve_seconds"
+	ServeShardMergeSeconds = "serve.shard.merge_seconds"
+	ServeShardMergeErrors  = "serve.shard.merge_errors"
+
 	// internal/trace — live-ring occupancy, published as gauges at monitor
 	// scrape time (the ring itself stays telemetry-free).
 	TraceRingOccupancy = "trace.ring.occupancy"

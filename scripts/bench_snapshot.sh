@@ -19,7 +19,7 @@ trap 'rm -f "$tmp"' EXIT
 
 grid_benches='BenchmarkFig10GridCDF|BenchmarkTable2GridTTF|BenchmarkSparseCholeskyFactor'
 grid_small='BenchmarkGridSolve/^nx(10|20|40|80)$'
-grid_large='BenchmarkGridSolve/^nx(200|400)$|BenchmarkGridMCScreened'
+grid_large='BenchmarkGridSolve/^nx(200|400)$|BenchmarkGridMCScreened|BenchmarkGridMCSharded'
 fea_benches='BenchmarkFig1StressProfile|BenchmarkFig6Patterns|BenchmarkFig7ArraySize|BenchmarkFEAWorkers|BenchmarkStressCacheWarm'
 
 go test -run '^$' -bench "$grid_benches" \
